@@ -1,0 +1,134 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus the ablation studies. Each benchmark iteration runs
+// the full experiment pipeline (workload generation, simulation or
+// cluster emulation across all schedulers, aggregation) at reduced
+// replicate counts; run `cmd/iosim -run all` for the paper-scale version.
+//
+//	go test -bench=. -benchmem
+package iosched_test
+
+import (
+	"fmt"
+	"testing"
+
+	iosched "repro"
+	"repro/internal/experiments"
+)
+
+// benchExperiment runs one registry entry per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := experiments.Config{Quick: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(doc.Tables)+len(doc.Figures) == 0 {
+			b.Fatalf("%s produced an empty document", id)
+		}
+	}
+}
+
+// One benchmark per paper artifact (DESIGN.md §3).
+
+func BenchmarkFig1Throughput(b *testing.B)       { benchExperiment(b, "fig1") }
+func BenchmarkFig5Workload(b *testing.B)         { benchExperiment(b, "fig5") }
+func BenchmarkFig6aHeuristics(b *testing.B)      { benchExperiment(b, "fig6a") }
+func BenchmarkFig6bHeuristics(b *testing.B)      { benchExperiment(b, "fig6b") }
+func BenchmarkFig6cHeuristics(b *testing.B)      { benchExperiment(b, "fig6c") }
+func BenchmarkFig7Sensibility(b *testing.B)      { benchExperiment(b, "fig7") }
+func BenchmarkFig8Intrepid(b *testing.B)         { benchExperiment(b, "fig8") }
+func BenchmarkFig9MinMax(b *testing.B)           { benchExperiment(b, "fig9") }
+func BenchmarkFig10NonPriority(b *testing.B)     { benchExperiment(b, "fig10") }
+func BenchmarkFig11Mira(b *testing.B)            { benchExperiment(b, "fig11") }
+func BenchmarkFig12MinMaxMira(b *testing.B)      { benchExperiment(b, "fig12") }
+func BenchmarkFig13NonPriorityMira(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkTable1Intrepid(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkTable2Mira(b *testing.B)           { benchExperiment(b, "table2") }
+func BenchmarkFig14Overhead(b *testing.B)        { benchExperiment(b, "fig14") }
+func BenchmarkFig15Vesta(b *testing.B)           { benchExperiment(b, "fig15") }
+func BenchmarkFig16PerApp(b *testing.B)          { benchExperiment(b, "fig16") }
+
+// Ablation and extension benches (DESIGN.md §5).
+
+func BenchmarkAblationGamma(b *testing.B)      { benchExperiment(b, "ablation-gamma") }
+func BenchmarkAblationPriority(b *testing.B)   { benchExperiment(b, "ablation-priority") }
+func BenchmarkAblationBB(b *testing.B)         { benchExperiment(b, "ablation-bb") }
+func BenchmarkAblationThrouOrder(b *testing.B) { benchExperiment(b, "ablation-throu-order") }
+func BenchmarkAblationTimeout(b *testing.B)    { benchExperiment(b, "ablation-timeout") }
+func BenchmarkAblationSharedNet(b *testing.B)  { benchExperiment(b, "ablation-shared-network") }
+func BenchmarkPeriodicVsOnline(b *testing.B)   { benchExperiment(b, "periodic-vs-online") }
+func BenchmarkVerifyClaims(b *testing.B)       { benchExperiment(b, "verify") }
+
+// Component benchmarks: the scheduling hot path and both execution
+// engines, independent of the experiment harness.
+
+func BenchmarkSimulateCongestedMoment(b *testing.B) {
+	moment := iosched.IntrepidMoments(1, 7)[0]
+	sched := iosched.MaxSysEff().WithPriority()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := iosched.Simulate(iosched.SimConfig{
+			Platform:  moment.Platform.WithoutBB(),
+			Scheduler: sched,
+			Apps:      moment.Apps,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Summary.Dilation < 1 {
+			b.Fatal("dilation below 1")
+		}
+	}
+}
+
+func BenchmarkEmulateVestaScenario(b *testing.B) {
+	for _, ranks := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("ranks-%d", ranks), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := iosched.Emulate(iosched.ClusterConfig{
+					Platform: iosched.Vesta(),
+					Mode:     iosched.Scheduled,
+					Policy:   iosched.MaxSysEff(),
+					Apps: []iosched.IORGroup{
+						{ID: 0, Name: "a", Ranks: ranks / 2, Iterations: 5, Work: 2, BlockGiB: 0.1},
+						{ID: 1, Name: "b", Ranks: ranks / 2, Iterations: 5, Work: 2, BlockGiB: 0.1},
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPeriodSearch(b *testing.B) {
+	machine := &iosched.Platform{Name: "bench", Nodes: 512, NodeBW: 0.25, TotalBW: 16}
+	apps := []*iosched.App{
+		iosched.NewPeriodicApp(0, 100, 50, 30, 1),
+		iosched.NewPeriodicApp(1, 150, 120, 80, 1),
+		iosched.NewPeriodicApp(2, 80, 200, 60, 1),
+		iosched.NewPeriodicApp(3, 120, 90, 45, 1),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := iosched.SearchPeriod(machine, apps, iosched.InsertCong, 3000, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Schedule == nil {
+			b.Fatal("no schedule")
+		}
+	}
+}

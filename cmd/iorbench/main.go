@@ -1,0 +1,86 @@
+// Command iorbench runs a single Vesta scenario of the paper's Section 5
+// experiment through the rank-level cluster emulator:
+//
+//	iorbench -scenario 512/256/256/32 -policy Priority-MaxSysEff
+//	iorbench -scenario 256/256 -mode original -bb
+//	iorbench -scenario 512 -mode always-grant
+//
+// It prints the per-application outcomes and the run objectives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ior"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "256/256", "node counts of the process groups, e.g. 512/256/32")
+		mode     = flag.String("mode", "scheduled", "benchmark mode: original, always-grant, scheduled")
+		policy   = flag.String("policy", "Priority-MaxSysEff", "scheduling policy for scheduled mode")
+		useBB    = flag.Bool("bb", false, "stage writes through the burst buffers")
+		iters    = flag.Int("iterations", 20, "iterations per group")
+		work     = flag.Float64("work", 2, "compute seconds per iteration")
+		block    = flag.Float64("block", 0.1, "per-rank write size per iteration (GiB)")
+		seed     = flag.Int64("seed", 0, "jitter seed")
+	)
+	flag.Parse()
+
+	sc, err := ior.ParseScenario(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+	v := ior.Variant{UseBB: *useBB}
+	switch *mode {
+	case "original":
+		v.Mode = cluster.OriginalIOR
+		v.Label = "original IOR"
+	case "always-grant":
+		v.Mode = cluster.AlwaysGrant
+		v.Label = "modified IOR, always grant"
+	case "scheduled":
+		v.Mode = cluster.Scheduled
+		v.Label = *policy
+		pol, err := core.ByName(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		v.Policy = pol
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	params := ior.Params{Iterations: *iters, Work: *work, BlockGiB: *block}
+	res, err := ior.Run(sc, v, params, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("scenario %s under %s (BB=%v)\n\n", sc.Name, v.Label, *useBB)
+	fmt.Printf("%-14s %8s %10s %10s %10s\n", "application", "nodes", "finish(s)", "eff", "dilation")
+	for _, a := range res.Apps {
+		fmt.Printf("%-14s %8d %10.2f %10.3f %10.3f\n",
+			a.Name, a.Nodes, a.Finish, a.AchievedEff(), a.Dilation())
+	}
+	fmt.Printf("\nmakespan        %10.2f s\n", res.Makespan)
+	fmt.Printf("SysEfficiency   %10.2f %% (upper limit %.2f%%)\n",
+		res.Summary.SysEfficiency, res.Summary.UpperLimit)
+	fmt.Printf("Dilation        %10.3f\n", res.Summary.Dilation)
+	fmt.Printf("messages        %10d\n", res.Messages)
+	if res.SchedRequests > 0 {
+		fmt.Printf("sched requests  %10d (decisions %d)\n", res.SchedRequests, res.SchedDecisions)
+	}
+	if *useBB {
+		fmt.Printf("BB peak level   %10.1f GiB (full for %.1f s)\n", res.BBPeakLevel, res.BBFullTime)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iorbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command ioreplay answers the operator question "what would the global
+// I/O scheduler have bought us on this trace?": it reads a Darshan-style
+// trace file (see cmd/wlgen and internal/trace), finds the congested
+// windows, replays each one under the production baseline and the paper's
+// heuristics, and prints the comparison.
+//
+//	wlgen -days 30 -out jobs.jsonl
+//	ioreplay -in jobs.jsonl -machine intrepid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "trace file to analyze (JSON lines)")
+		machine   = flag.String("machine", "intrepid", "platform preset: intrepid, mira, vesta")
+		threshold = flag.Float64("threshold", 1.0, "congestion threshold as a fraction of B")
+		policies  = flag.String("policies", "", "comma-separated scheduler names (default: the paper's Priority extremes)")
+		top       = flag.Int("top", 0, "only report the N most congested windows (0 = all)")
+		csvDir    = flag.String("csv", "", "directory for CSV export")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "ioreplay: -in <trace file> is required")
+		os.Exit(2)
+	}
+	p, ok := platform.Presets()[*machine]
+	if !ok {
+		fatal(fmt.Errorf("unknown machine %q", *machine))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	recs, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := replay.Options{Platform: p, Threshold: *threshold}
+	if *policies != "" {
+		for _, name := range splitComma(*policies) {
+			s, err := core.ByName(name)
+			if err != nil {
+				fatal(err)
+			}
+			opts.Schedulers = append(opts.Schedulers, s)
+		}
+	}
+	res, err := replay.Analyze(recs, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if len(res.Windows) == 0 {
+		fmt.Printf("no congested windows above %.0f%% of B in %d records\n",
+			100**threshold, len(recs))
+		return
+	}
+	if *top > 0 && *top < len(res.Windows) {
+		res.SortWindowsBySeverity()
+		res.Windows = res.Windows[:*top]
+	}
+	doc := res.Report()
+	if err := doc.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if *csvDir != "" {
+		if err := doc.ExportCSV(*csvDir); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ioreplay:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command ioschedd is the global I/O scheduler daemon: the paper's
+// scheduler thread promoted to a standalone TCP service that HPC
+// applications (or their I/O middleware) consult before every I/O phase.
+//
+//	ioschedd -listen :9449 -policy Priority-MaxSysEff -B 24 -b 0.0125
+//
+// The wire protocol is newline-delimited JSON (see internal/server):
+//
+//	-> {"type":"hello","app_id":1,"nodes":4096}
+//	-> {"type":"request","volume_gib":900,"work_s":600,"ideal_s":637}
+//	<- {"type":"grant","app_id":1,"bw_gibs":24,"seq":7}
+//	-> {"type":"complete"}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:9449", "TCP listen address")
+		policy  = flag.String("policy", "Priority-MaxSysEff", "scheduling policy")
+		machine = flag.String("machine", "", "platform preset supplying B and b (intrepid, mira, vesta)")
+		totalBW = flag.Float64("B", 0, "file-system bandwidth B in GiB/s (overrides -machine)")
+		nodeBW  = flag.Float64("b", 0, "per-node I/O-card bandwidth b in GiB/s (overrides -machine)")
+		quiet   = flag.Bool("quiet", false, "disable connection logging")
+	)
+	flag.Parse()
+
+	B, b := *totalBW, *nodeBW
+	if *machine != "" {
+		p, ok := platform.Presets()[*machine]
+		if !ok {
+			fatal(fmt.Errorf("unknown machine %q", *machine))
+		}
+		if B == 0 {
+			B = p.TotalBW
+		}
+		if b == 0 {
+			b = p.NodeBW
+		}
+	}
+	if B == 0 || b == 0 {
+		fatal(fmt.Errorf("need -machine or both -B and -b"))
+	}
+
+	pol, err := core.ByName(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(os.Stderr, "ioschedd: ", log.LstdFlags)
+	}
+	srv, err := server.New(server.Config{
+		Policy:  pol,
+		TotalBW: B,
+		NodeBW:  b,
+		Logger:  logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "ioschedd: shutting down")
+		srv.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "ioschedd: %s on %s (B=%g GiB/s, b=%g GiB/s)\n",
+		pol.Name(), *listen, B, b)
+	if err := srv.ListenAndServe(*listen); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ioschedd:", err)
+	os.Exit(1)
+}

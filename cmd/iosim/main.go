@@ -1,0 +1,89 @@
+// Command iosim reproduces the paper's tables and figures. Each
+// experiment is identified by its paper artifact id:
+//
+//	iosim -list
+//	iosim -run table1
+//	iosim -run all -quick
+//	iosim -run fig15 -csv out/
+//
+// Results are rendered as ASCII tables/series on stdout and optionally
+// exported as CSV files for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run        = flag.String("run", "", "experiment id to run, or 'all'")
+		list       = flag.Bool("list", false, "list available experiments")
+		quick      = flag.Bool("quick", false, "reduced replicates/iterations for a fast pass")
+		seed       = flag.Int64("seed", 0, "seed offset for all generators")
+		replicates = flag.Int("replicates", 0, "override replicate count (Figure 6/7 studies)")
+		workers    = flag.Int("workers", 0, "max parallel replicates (default GOMAXPROCS)")
+		csvDir     = flag.String("csv", "", "directory to write CSV exports into")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %-10s %s\n", e.ID, "("+e.Paper+")", e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> or -run all")
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Quick:      *quick,
+		Seed:       *seed,
+		Replicates: *replicates,
+		Workers:    *workers,
+	}
+
+	var ids []string
+	if *run == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+
+	exit := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "iosim: unknown experiment %q (try -list)\n", id)
+			exit = 2
+			continue
+		}
+		start := time.Now()
+		doc, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iosim: %s: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("# %s finished in %.1fs\n\n", id, time.Since(start).Seconds())
+		if err := doc.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "iosim: rendering %s: %v\n", id, err)
+			exit = 1
+		}
+		if *csvDir != "" {
+			if err := doc.ExportCSV(*csvDir); err != nil {
+				fmt.Fprintf(os.Stderr, "iosim: exporting %s: %v\n", id, err)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,122 @@
+// Command wlgen generates and inspects Darshan-style workload traces:
+//
+//	wlgen -days 30 -out jobs.jsonl            # synthesize a trace
+//	wlgen -in jobs.jsonl -congested           # find congested windows
+//	wlgen -in jobs.jsonl -coverage 0.5        # subset to Darshan coverage
+//
+// Traces are JSON lines (one job record per line; see internal/trace).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/platform"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write generated/filtered trace to this file ('-' for stdout)")
+		in        = flag.String("in", "", "read an existing trace instead of generating")
+		days      = flag.Int("days", 30, "days of synthetic workload to generate")
+		seed      = flag.Int64("seed", 0, "generator seed")
+		machine   = flag.String("machine", "intrepid", "platform preset: intrepid, mira, vesta")
+		congested = flag.Bool("congested", false, "report congested windows of the trace")
+		threshold = flag.Float64("threshold", 1.0, "congestion threshold as a fraction of B")
+		coverage  = flag.Float64("coverage", 0, "subset the trace to this node-hour fraction (0 = keep all)")
+	)
+	flag.Parse()
+
+	p, ok := platform.Presets()[*machine]
+	if !ok {
+		fatal(fmt.Errorf("unknown machine %q", *machine))
+	}
+
+	var recs []trace.JobRecord
+	var err error
+	if *in != "" {
+		recs, err = readTrace(*in)
+	} else {
+		recs, err = generate(p, *days, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wlgen: %d job records\n", len(recs))
+
+	if *coverage > 0 && *coverage < 1 {
+		recs = trace.CoverageSubset(recs, *coverage, *seed+1)
+		fmt.Fprintf(os.Stderr, "wlgen: %d records after %.0f%% coverage subset\n",
+			len(recs), 100**coverage)
+	}
+
+	if *congested {
+		wins := trace.FindCongestedWindows(recs, p, *threshold)
+		fmt.Printf("%d congested windows (demand > %.0f%% of B = %.0f GiB/s)\n",
+			len(wins), 100**threshold, p.TotalBW)
+		for i, w := range wins {
+			fmt.Printf("  window %2d: [%.0f, %.0f) s, %d jobs, peak demand %.1f GiB/s\n",
+				i+1, w.Start, w.End, len(w.Jobs), w.PeakDemand)
+		}
+	}
+
+	if *out != "" {
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := trace.Write(w, recs); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func readTrace(path string) ([]trace.JobRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+func generate(p *platform.Platform, days int, seed int64) ([]trace.JobRecord, error) {
+	var recs []trace.JobRecord
+	jobID := 0
+	for day := 0; day < days; day++ {
+		apps, err := workload.Generate(workload.Config{
+			Platform: p,
+			Seed:     seed + int64(day)*17,
+			Specs: []workload.Spec{
+				{Count: 40, Category: workload.Small},
+				{Count: 5, Category: workload.Large},
+				{Count: 1, Category: workload.VeryLarge},
+			},
+			IORatio:       0.2,
+			IORatioSpread: 0.6,
+			Fill:          0.95,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range apps {
+			a.Release += float64(day) * 86400
+			recs = append(recs, trace.FromApp(a, jobID, a.Release+a.DedicatedTime(p)))
+			jobID++
+		}
+	}
+	return recs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wlgen:", err)
+	os.Exit(1)
+}

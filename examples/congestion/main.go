@@ -1,0 +1,57 @@
+// Congestion: reproduce the paper's headline result on one congested
+// moment — the global I/O scheduler *without* burst buffers beats the
+// production scheduler (max-min fair sharing) *with* burst buffers.
+//
+// The moment is drawn from the same seeded generator as Table 1: a
+// Darshan-style application mix heavy enough to saturate Intrepid's file
+// system, with the unobserved half of the machine reconstructed by
+// replicating observed applications.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	iosched "repro"
+)
+
+func main() {
+	moment := iosched.IntrepidMoments(1, 42)[0]
+	fmt.Printf("congested moment %q: %d applications on %s\n\n",
+		moment.Name, len(moment.Apps), moment.Platform)
+
+	// The production baseline: fair sharing with burst buffers.
+	base, err := iosched.Simulate(iosched.SimConfig{
+		Platform:  moment.Platform,
+		Scheduler: iosched.FairShare{},
+		Apps:      moment.Apps,
+		UseBB:     true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s  SysEff %6.2f%%  Dilation %5.3f   (burst buffers: peak %.0f GiB, full %.0fs)\n",
+		"intrepid (fair+BB)", base.Summary.SysEfficiency, base.Summary.Dilation,
+		base.BBPeakLevel, base.BBFullTime)
+
+	// The paper's heuristics, without burst buffers.
+	for _, name := range []string{
+		"Priority-MaxSysEff", "Priority-MinMax-0.5", "Priority-MinDilation",
+	} {
+		sched, err := iosched.SchedulerByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := iosched.Simulate(iosched.SimConfig{
+			Platform:  moment.Platform.WithoutBB(),
+			Scheduler: sched,
+			Apps:      moment.Apps,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s  SysEff %6.2f%%  Dilation %5.3f\n",
+			name, res.Summary.SysEfficiency, res.Summary.Dilation)
+	}
+	fmt.Printf("\nupper limit for this mix: %.2f%%\n", base.Summary.UpperLimit)
+}

@@ -1,0 +1,144 @@
+// Distributed: run the global I/O scheduler as a real TCP daemon and
+// three IOR-like client applications against it, in one process. Each
+// client loops compute → request → transfer-at-granted-rate → complete,
+// with wall-clock time standing in for compute and transfer durations
+// (1 virtual second = 1 millisecond here).
+//
+// This is the deployment shape of the paper's prototype: the scheduler
+// thread of the modified IOR benchmark promoted to a machine-level
+// service (see cmd/ioschedd for the standalone daemon).
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	iosched "repro"
+	"repro/internal/server"
+)
+
+const timeScale = 1e-3 // wall seconds per virtual second
+
+type appSpec struct {
+	id     int
+	nodes  int
+	work   float64 // virtual seconds of compute per iteration
+	volume float64 // GiB per iteration
+	iters  int
+}
+
+func main() {
+	// A small machine: B = 10 GiB/s, b = 1 GiB/s per node.
+	srv, err := server.New(server.Config{
+		Policy:  iosched.MaxSysEff().WithPriority(),
+		TotalBW: 10,
+		NodeBW:  1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // exits on Close
+	defer srv.Close()
+	addr := ln.Addr().String()
+	fmt.Printf("scheduler daemon on %s\n\n", addr)
+
+	specs := []appSpec{
+		{id: 1, nodes: 8, work: 100, volume: 160, iters: 4},
+		{id: 2, nodes: 8, work: 150, volume: 120, iters: 4},
+		{id: 3, nodes: 4, work: 80, volume: 60, iters: 5},
+	}
+	var wg sync.WaitGroup
+	for _, spec := range specs {
+		spec := spec
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := runApp(addr, spec); err != nil {
+				log.Printf("app %d: %v", spec.id, err)
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("\nscheduler made %d allocation decisions\n", srv.Decisions())
+}
+
+func runApp(addr string, spec appSpec) error {
+	c, err := server.Dial(addr, spec.id, spec.nodes)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	cardBW := float64(spec.nodes) // nodes × b
+	ideal := spec.work + spec.volume/min(cardBW, 10)
+	start := time.Now()
+	for i := 0; i < spec.iters; i++ {
+		sleepVirtual(spec.work)
+
+		if err := c.RequestIO(spec.volume, spec.work, ideal); err != nil {
+			return err
+		}
+		remaining := spec.volume
+		for remaining > 1e-9 {
+			bw, err := c.WaitForBandwidth(10 * time.Second)
+			if err != nil {
+				return err
+			}
+			// Transfer until done or the grant changes.
+			step := remaining / bw // virtual seconds at this rate
+			if !transferFor(c, step, bw, &remaining) {
+				continue // re-granted mid-transfer; loop with new rate
+			}
+		}
+		if err := c.CompleteIO(); err != nil {
+			return err
+		}
+		fmt.Printf("app %d finished iteration %d/%d at +%.0f ms\n",
+			spec.id, i+1, spec.iters, time.Since(start).Seconds()*1e3)
+	}
+	return nil
+}
+
+// transferFor moves volume at bw for up to step virtual seconds, watching
+// for grant changes; it reports whether the transfer ran to completion of
+// the step.
+func transferFor(c *server.Client, step, bw float64, remaining *float64) bool {
+	timer := time.NewTimer(time.Duration(step * timeScale * float64(time.Second)))
+	defer timer.Stop()
+	began := time.Now()
+	select {
+	case <-timer.C:
+		*remaining -= step * bw
+		if *remaining < 0 {
+			*remaining = 0
+		}
+		return true
+	case newBW, ok := <-c.Grants():
+		elapsed := time.Since(began).Seconds() / timeScale
+		*remaining -= elapsed * bw
+		if *remaining < 0 {
+			*remaining = 0
+		}
+		_ = newBW
+		_ = ok
+		return false
+	}
+}
+
+func sleepVirtual(d float64) {
+	time.Sleep(time.Duration(d * timeScale * float64(time.Second)))
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,39 @@
+// Periodic: build a steady-state periodic schedule (Section 3.2 of the
+// paper) for a set of checkpointing applications, using both insertion
+// heuristics and the (1+ε) period search, and print the resulting
+// timetable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	iosched "repro"
+)
+
+func main() {
+	// Four checkpointing applications on a 100-node machine: every w
+	// seconds of computation they write a checkpoint of vol GiB.
+	machine := &iosched.Platform{Name: "demo", Nodes: 100, NodeBW: 1, TotalBW: 10}
+	apps := []*iosched.App{
+		iosched.NewPeriodicApp(0, 20, 35, 24, 1),
+		iosched.NewPeriodicApp(1, 30, 275, 288, 1),
+		iosched.NewPeriodicApp(2, 25, 90, 35, 1),
+		iosched.NewPeriodicApp(3, 25, 75, 52, 1),
+	}
+
+	for _, heuristic := range []string{iosched.InsertThrou, iosched.InsertCong} {
+		res, err := iosched.SearchPeriod(machine, apps, heuristic, 2000, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: tried %d periods, best T = %.1f s\n",
+			heuristic, res.Tried, res.Schedule.T)
+		fmt.Printf("  SysEfficiency %.2f%%  Dilation %.3f\n",
+			res.BestSysEff, res.BestDilation)
+		if err := res.Schedule.Validate(); err != nil {
+			log.Fatalf("invalid schedule: %v", err)
+		}
+		fmt.Println(res.Schedule)
+	}
+}

@@ -1,0 +1,132 @@
+package bb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPassThroughWhenEmpty(t *testing.T) {
+	m := New(100, 40, 10)
+	// Inflow below drain: the buffer stays empty.
+	m.Advance(10, 5)
+	if m.Level() != 0 {
+		t.Errorf("level = %g, want 0 (pass-through)", m.Level())
+	}
+	if m.Full() {
+		t.Error("empty buffer reports full")
+	}
+	if got := m.IngestCapacity(); got != 40 {
+		t.Errorf("ingest capacity = %g, want 40", got)
+	}
+}
+
+func TestFillAndDrain(t *testing.T) {
+	m := New(100, 40, 10)
+	// Net +30 for 2 s -> level 60.
+	m.Advance(2, 40)
+	if m.Level() != 60 {
+		t.Errorf("level = %g, want 60", m.Level())
+	}
+	// Net -10 for 3 s -> level 30.
+	m.Advance(3, 0)
+	if m.Level() != 30 {
+		t.Errorf("level = %g, want 30", m.Level())
+	}
+	// Drain past empty clamps at 0.
+	m.Advance(100, 0)
+	if m.Level() != 0 {
+		t.Errorf("level = %g, want 0", m.Level())
+	}
+	if m.Peak() != 60 {
+		t.Errorf("peak = %g, want 60", m.Peak())
+	}
+}
+
+func TestTimeToFull(t *testing.T) {
+	m := New(100, 40, 10)
+	dt, ok := m.TimeToFull(40)
+	if !ok || math.Abs(dt-100.0/30) > 1e-12 {
+		t.Errorf("TimeToFull(40) = %g/%v, want %g/true", dt, ok, 100.0/30)
+	}
+	if _, ok := m.TimeToFull(5); ok {
+		t.Error("buffer fills although inflow below drain")
+	}
+	m.Advance(100.0/30, 40)
+	if !m.Full() {
+		t.Errorf("buffer not full at level %g", m.Level())
+	}
+	if _, ok := m.TimeToFull(40); ok {
+		t.Error("full buffer reports a fill time")
+	}
+	if got := m.IngestCapacity(); got != 10 {
+		t.Errorf("full-buffer ingest capacity = %g, want drain 10", got)
+	}
+}
+
+func TestFullTimeAccounting(t *testing.T) {
+	m := New(10, 40, 10)
+	m.Advance(10.0/30, 40) // fills exactly
+	if !m.Full() {
+		t.Fatalf("not full: level %g", m.Level())
+	}
+	m.Advance(5, 10) // stays full (inflow == drain)
+	if got := m.FullTime(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("full time = %g, want 5", got)
+	}
+	m.Advance(0.5, 0) // drains
+	if m.Full() {
+		t.Error("still full after draining")
+	}
+}
+
+func TestResetAndNegativeStepPanics(t *testing.T) {
+	m := New(10, 40, 10)
+	m.Advance(1, 40)
+	m.Reset()
+	if m.Level() != 0 || m.Peak() != 0 || m.FullTime() != 0 {
+		t.Error("reset did not clear state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on negative step")
+		}
+	}()
+	m.Advance(-1, 0)
+}
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	for _, c := range [][3]float64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", c)
+				}
+			}()
+			New(c[0], c[1], c[2])
+		}()
+	}
+}
+
+// Property: level always stays within [0, Capacity], and volume is
+// conserved when the buffer is neither clamped empty nor full.
+func TestLevelBoundsQuick(t *testing.T) {
+	f := func(steps []uint8) bool {
+		m := New(50, 40, 10)
+		for _, s := range steps {
+			dt := float64(s%10) / 4
+			inflow := float64(s>>4) * 3
+			if fill, ok := m.TimeToFull(inflow); ok && fill < dt {
+				dt = fill // respect the documented no-crossing contract
+			}
+			m.Advance(dt, inflow)
+			if m.Level() < 0 || m.Level() > 50+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

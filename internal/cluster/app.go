@@ -1,0 +1,255 @@
+package cluster
+
+import "repro/internal/core"
+
+// appRun is the runtime state of one IOR process group. Ranks are arranged
+// in a binary reduce tree (children of rank r are 2r+1 and 2r+2); each
+// iteration every rank computes, then — in the modified benchmark — the
+// ranks reduce to rank 0, rank 0 asks the scheduler for I/O, the group
+// writes collectively, and all ranks start the next iteration when the
+// write returns. In the original benchmark every rank writes its own block
+// independently as soon as its compute finishes.
+type appRun struct {
+	r   *runner
+	cfg AppConfig
+
+	iter int // current iteration (0-based); == Iterations when done
+
+	// reduce state, reset each iteration
+	childLeft   []int  // outstanding child contributions per rank
+	computeDone []bool // own compute finished per rank
+
+	// original-IOR per-rank progress
+	rankIter     []int // per-rank current iteration
+	ranksRunning int   // ranks not yet finished (original mode)
+
+	// fanoutLeft counts outstanding per-rank streams of the current
+	// collective write in AlwaysGrant mode (the approved write still
+	// reaches the file system as rank streams, exactly like unmodified
+	// IOR — the scheduler machinery must only add cost, not change
+	// sharing).
+	fanoutLeft int
+
+	view core.AppView // scheduler-visible state (modified modes)
+
+	ioWantedAt float64 // when the current collective write was requested
+	ioTime     float64
+	finishTime float64
+}
+
+func newAppRun(r *runner, cfg AppConfig) *appRun {
+	a := &appRun{
+		r:   r,
+		cfg: cfg,
+		view: core.AppView{
+			ID:    cfg.ID,
+			Nodes: cfg.Ranks,
+			Phase: core.Computing,
+		},
+	}
+	if r.cfg.Mode == OriginalIOR {
+		a.rankIter = make([]int, cfg.Ranks)
+		a.ranksRunning = cfg.Ranks
+	} else {
+		a.childLeft = make([]int, cfg.Ranks)
+		a.computeDone = make([]bool, cfg.Ranks)
+	}
+	return a
+}
+
+func (a *appRun) finished() bool {
+	if a.r.cfg.Mode == OriginalIOR {
+		return a.ranksRunning == 0
+	}
+	return a.iter >= a.cfg.Iterations
+}
+
+// children returns how many reduce-tree children rank r has.
+func (a *appRun) children(rank int) int {
+	n := 0
+	if 2*rank+1 < a.cfg.Ranks {
+		n++
+	}
+	if 2*rank+2 < a.cfg.Ranks {
+		n++
+	}
+	return n
+}
+
+// computeTime returns rank r's compute duration for the given iteration,
+// including its deterministic jitter.
+func (a *appRun) computeTime(rank, iter int) float64 {
+	j := jitterU(a.r.cfg.Seed, a.cfg.ID, rank, iter)
+	return a.cfg.Work * (1 + a.r.cfg.ComputeJitter*j)
+}
+
+// startIteration launches the compute phase of the current iteration on
+// every rank (modified modes) or starts each rank's independent loop
+// (original mode, only called once).
+func (a *appRun) startIteration() {
+	if a.r.cfg.Mode == OriginalIOR {
+		if a.iter > 0 {
+			return // ranks self-schedule after the first call
+		}
+		for rank := 0; rank < a.cfg.Ranks; rank++ {
+			a.startRankCompute(rank)
+		}
+		a.iter = 1 // marks "started"; per-rank progress is in rankIter
+		return
+	}
+	if a.finished() {
+		return
+	}
+	iter := a.iter
+	for rank := 0; rank < a.cfg.Ranks; rank++ {
+		a.childLeft[rank] = a.children(rank)
+		a.computeDone[rank] = false
+	}
+	for rank := 0; rank < a.cfg.Ranks; rank++ {
+		rank := rank
+		a.r.eng.After(a.computeTime(rank, iter), func() { a.rankComputeDone(rank) })
+	}
+}
+
+// --- modified benchmark: reduce tree, scheduler interaction ------------
+
+// rankComputeDone marks a rank's compute finished and forwards its reduce
+// contribution when ready.
+func (a *appRun) rankComputeDone(rank int) {
+	a.computeDone[rank] = true
+	a.maybeSendUp(rank)
+}
+
+// maybeSendUp sends rank's contribution to its parent once its own compute
+// is done and all child contributions have arrived.
+func (a *appRun) maybeSendUp(rank int) {
+	if !a.computeDone[rank] || a.childLeft[rank] != 0 {
+		return
+	}
+	if rank == 0 {
+		a.reduceDone()
+		return
+	}
+	parent := (rank - 1) / 2
+	a.r.messages++
+	a.r.eng.After(a.r.msgDelay(a.r.cfg.MsgLatency), func() {
+		a.childLeft[parent]--
+		a.maybeSendUp(parent)
+	})
+}
+
+// reduceDone fires on rank 0 when the iteration's MPI_Reduce completes:
+// the instance's work is credited and the I/O request goes out.
+func (a *appRun) reduceDone() {
+	now := a.r.eng.Now()
+	a.view.CreditedWork += a.cfg.Work
+	a.view.CreditedIdeal += a.idealTime() / float64(a.cfg.Iterations)
+	if a.cfg.Volume() <= 0 {
+		a.iterationIODone()
+		return
+	}
+	a.ioWantedAt = now
+	a.view.Phase = core.Pending
+	a.view.RemVolume = a.cfg.Volume()
+	a.view.Started = false
+	a.view.PendingSince = now
+	a.r.messages++
+	a.r.eng.After(a.r.msgDelay(a.r.cfg.ReqLatency), func() { a.r.sched.request(a) })
+}
+
+// grantArrived applies a scheduler grant. iter guards against stale
+// in-flight grants from a previous iteration. In Scheduled mode the group
+// writes as one collective stream at the granted rate; in AlwaysGrant mode
+// the approval releases the ranks' individual block writes.
+func (a *appRun) grantArrived(iter int, bw float64, fairShare bool) {
+	if iter != a.iter || a.view.Phase == core.Computing || a.view.Phase == core.Finished {
+		return // stale message
+	}
+	if fairShare {
+		if a.fanoutLeft > 0 {
+			return // duplicate approval
+		}
+		a.view.Phase = core.Transferring
+		a.view.Started = true
+		a.fanoutLeft = a.cfg.Ranks
+		a.r.pfs.addFanout(a)
+		return
+	}
+	a.r.pfs.setAppStream(a, bw)
+}
+
+// fanoutStreamDone accounts one rank stream of the approved collective
+// write; the write returns once all ranks' blocks are on the file system.
+func (a *appRun) fanoutStreamDone() {
+	a.fanoutLeft--
+	if a.fanoutLeft == 0 {
+		a.collectiveWriteDone()
+	}
+}
+
+// collectiveWriteDone fires when the group's stream drains: every rank
+// resumes computing after the completion broadcast propagates down the
+// tree.
+func (a *appRun) collectiveWriteDone() {
+	now := a.r.eng.Now()
+	a.ioTime += now - a.ioWantedAt
+	a.view.Phase = core.Computing
+	a.view.RemVolume = 0
+	a.view.Started = false
+	a.view.LastIOEnd = now
+	// Completion notification to the scheduler frees bandwidth for
+	// stalled applications.
+	a.r.messages++
+	a.r.eng.After(a.r.msgDelay(a.r.cfg.ReqLatency), func() { a.r.sched.transferDone() })
+	a.iterationIODone()
+}
+
+// iterationIODone advances to the next iteration (after the result
+// broadcast) or finishes the application.
+func (a *appRun) iterationIODone() {
+	a.iter++
+	if a.finished() {
+		a.finishTime = a.r.eng.Now()
+		a.view.Phase = core.Finished
+		return
+	}
+	depth := treeDepth(a.cfg.Ranks)
+	a.r.messages += a.cfg.Ranks - 1
+	a.r.eng.After(a.r.msgDelay(float64(depth)*a.r.cfg.MsgLatency), func() { a.startIteration() })
+}
+
+// --- original benchmark: independent ranks ------------------------------
+
+// startRankCompute begins one rank's compute for its own iteration.
+func (a *appRun) startRankCompute(rank int) {
+	iter := a.rankIter[rank]
+	a.r.eng.After(a.computeTime(rank, iter), func() { a.rankWrite(rank) })
+}
+
+// rankWrite starts the rank's independent block write.
+func (a *appRun) rankWrite(rank int) {
+	if rank == 0 {
+		a.ioWantedAt = a.r.eng.Now()
+	}
+	if a.cfg.BlockGiB <= 0 {
+		a.rankWriteDone(rank)
+		return
+	}
+	a.r.pfs.addRankStream(a, rank)
+}
+
+// rankWriteDone advances the rank's private loop.
+func (a *appRun) rankWriteDone(rank int) {
+	if rank == 0 {
+		a.ioTime += a.r.eng.Now() - a.ioWantedAt
+	}
+	a.rankIter[rank]++
+	if a.rankIter[rank] >= a.cfg.Iterations {
+		a.ranksRunning--
+		if t := a.r.eng.Now(); t > a.finishTime {
+			a.finishTime = t
+		}
+		return
+	}
+	a.startRankCompute(rank)
+}

@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func vesta() *platform.Platform { return platform.Vesta() }
+
+func app(id, ranks, iters int, work, block float64) AppConfig {
+	return AppConfig{ID: id, Name: "ior", Ranks: ranks, Iterations: iters,
+		Work: work, BlockGiB: block}
+}
+
+func TestOriginalIORSingleApp(t *testing.T) {
+	res, err := Run(Config{
+		Platform:      vesta(),
+		Mode:          OriginalIOR,
+		Apps:          []AppConfig{app(0, 64, 5, 2, 0.1)},
+		ComputeJitter: 1e-9, // effectively none
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 ranks, b = 0.03125 -> card 2 GiB/s aggregate; B = 10. Each rank
+	// writes 0.1 GiB at b: 3.2 s per iteration of I/O; total per
+	// iteration = 2 + 3.2 s.
+	want := 5 * (2 + 3.2)
+	if got := res.Makespan; math.Abs(got-want) > 0.1 {
+		t.Errorf("makespan = %g, want about %g", got, want)
+	}
+	if d := res.Summary.Dilation; d < 1 || d > 1.05 {
+		t.Errorf("dilation = %g, want about 1 (single app)", d)
+	}
+}
+
+func TestAlwaysGrantOverheadSmallAndPositive(t *testing.T) {
+	apps := []AppConfig{app(0, 128, 5, 2, 0.05)}
+	orig, err := Run(Config{Platform: vesta(), Mode: OriginalIOR, Apps: apps, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Run(Config{Platform: vesta(), Mode: AlwaysGrant, Apps: apps, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := 100 * (mod.Makespan - orig.Makespan) / orig.Makespan
+	if overhead <= 0 {
+		t.Errorf("overhead = %.2f%%, want positive (reduce + request round-trips)", overhead)
+	}
+	if overhead > 10 {
+		t.Errorf("overhead = %.2f%%, implausibly large", overhead)
+	}
+	if mod.SchedRequests != 5 {
+		t.Errorf("scheduler requests = %d, want 5 (one per iteration)", mod.SchedRequests)
+	}
+}
+
+func TestScheduledModeResolvesContention(t *testing.T) {
+	apps := []AppConfig{
+		app(0, 256, 4, 2, 0.1),
+		app(1, 256, 4, 2, 0.1),
+	}
+	for _, pol := range []core.Scheduler{
+		core.MaxSysEff().WithPriority(),
+		core.MinDilation().WithPriority(),
+		core.MinMax(0.5),
+	} {
+		res, err := Run(Config{
+			Platform: vesta(),
+			Mode:     Scheduled,
+			Policy:   pol,
+			Apps:     apps,
+			Seed:     7,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if res.Summary.Dilation < 1 {
+			t.Errorf("%s: dilation %g < 1", pol.Name(), res.Summary.Dilation)
+		}
+		if res.SchedDecisions == 0 {
+			t.Errorf("%s: scheduler made no decisions", pol.Name())
+		}
+		if res.Summary.SysEfficiency > res.Summary.UpperLimit+1e-6 {
+			t.Errorf("%s: efficiency %g above upper limit %g",
+				pol.Name(), res.Summary.SysEfficiency, res.Summary.UpperLimit)
+		}
+	}
+}
+
+func TestScheduledBeatsCongestionUnderContention(t *testing.T) {
+	// Three groups whose combined card bandwidth (3x8=24 GiB/s) swamps
+	// B=10: the global scheduler should do no worse than free-for-all
+	// contention on system efficiency.
+	apps := []AppConfig{
+		app(0, 256, 6, 2, 0.12),
+		app(1, 256, 6, 2, 0.12),
+		app(2, 256, 6, 2, 0.12),
+	}
+	orig, err := Run(Config{Platform: vesta(), Mode: OriginalIOR, Apps: apps, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Run(Config{Platform: vesta(), Mode: Scheduled,
+		Policy: core.MaxSysEff().WithPriority(), Apps: apps, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Summary.SysEfficiency < orig.Summary.SysEfficiency-2 {
+		t.Errorf("scheduled efficiency %.2f well below congested %.2f",
+			sched.Summary.SysEfficiency, orig.Summary.SysEfficiency)
+	}
+}
+
+func TestBurstBufferHelpsContention(t *testing.T) {
+	apps := []AppConfig{
+		app(0, 256, 4, 2, 0.1),
+		app(1, 256, 4, 2, 0.1),
+	}
+	plain, err := Run(Config{Platform: vesta(), Mode: OriginalIOR, Apps: apps, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffered, err := Run(Config{Platform: vesta(), Mode: OriginalIOR, Apps: apps,
+		UseBB: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buffered.Makespan >= plain.Makespan {
+		t.Errorf("burst buffer did not help: %g >= %g", buffered.Makespan, plain.Makespan)
+	}
+	if buffered.BBPeakLevel <= 0 {
+		t.Error("burst buffer unused")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{
+		Platform: vesta(),
+		Mode:     Scheduled,
+		Policy:   core.MinDilation(),
+		Apps: []AppConfig{
+			app(0, 512, 3, 2, 0.1),
+			app(1, 256, 3, 2, 0.1),
+			app(2, 32, 3, 2, 0.1),
+		},
+		Seed: 13,
+	}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan || r1.Events != r2.Events || r1.Messages != r2.Messages {
+		t.Errorf("runs differ: makespan %g/%g events %d/%d messages %d/%d",
+			r1.Makespan, r2.Makespan, r1.Events, r2.Events, r1.Messages, r2.Messages)
+	}
+	for i := range r1.Apps {
+		if r1.Apps[i].Finish != r2.Apps[i].Finish {
+			t.Errorf("app %d finish differs: %g vs %g", i, r1.Apps[i].Finish, r2.Apps[i].Finish)
+		}
+	}
+}
+
+func TestReduceMessageCount(t *testing.T) {
+	// With a single app of R ranks and n iterations and no I/O, the
+	// messages are exactly the reduce contributions (R-1 per iteration)
+	// plus the next-iteration broadcasts (R-1 each, none after the last
+	// iteration); zero-volume iterations skip the scheduler.
+	const ranks, iters = 16, 3
+	res, err := Run(Config{
+		Platform: vesta(),
+		Mode:     Scheduled,
+		Policy:   core.MaxSysEff(),
+		Apps:     []AppConfig{app(0, ranks, iters, 1, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := iters*(ranks-1) + (iters-1)*(ranks-1)
+	if res.Messages != want {
+		t.Errorf("messages = %d, want %d", res.Messages, want)
+	}
+	if res.SchedRequests != 0 {
+		t.Errorf("scheduler requests = %d, want 0 for zero-volume app", res.SchedRequests)
+	}
+}
+
+func TestTreeDepth(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {512, 9}, {513, 10},
+	}
+	for _, c := range cases {
+		if got := treeDepth(c.n); got != c.want {
+			t.Errorf("treeDepth(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	good := []AppConfig{app(0, 16, 2, 1, 0.1)}
+	cases := []Config{
+		{Mode: OriginalIOR, Apps: good},                  // nil platform
+		{Platform: vesta(), Mode: OriginalIOR},           // no apps
+		{Platform: vesta(), Mode: Scheduled, Apps: good}, // no policy
+		{Platform: vesta().WithoutBB(), Mode: OriginalIOR, Apps: good, UseBB: true},
+		{Platform: vesta(), Mode: OriginalIOR, Apps: []AppConfig{app(0, 0, 2, 1, 0.1)}},
+		{Platform: vesta(), Mode: OriginalIOR, Apps: []AppConfig{app(0, 4096, 2, 1, 0.1)}},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestWakerPolicyRunsInEmulator(t *testing.T) {
+	// A Timeout-wrapped policy must complete and make timer-driven
+	// decisions (more decisions than pure event-driven runs need).
+	apps := []AppConfig{
+		app(0, 512, 4, 2, 0.2), // transfers hog the file system
+		app(1, 64, 4, 2, 0.1),
+		app(2, 64, 4, 2, 0.1),
+	}
+	plain, err := Run(Config{Platform: vesta(), Mode: Scheduled,
+		Policy: core.MaxSysEff(), Apps: apps, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := Run(Config{Platform: vesta(), Mode: Scheduled,
+		Policy: core.NewTimeout(core.MaxSysEff(), 1), Apps: apps, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.SchedDecisions <= plain.SchedDecisions {
+		t.Errorf("waker policy made %d decisions, plain %d; timer wakes missing",
+			wrapped.SchedDecisions, plain.SchedDecisions)
+	}
+	if wrapped.Summary.Dilation < 1 {
+		t.Errorf("dilation %g < 1", wrapped.Summary.Dilation)
+	}
+}
+
+func TestSharedNetworkInflatesLatencyWithUtilization(t *testing.T) {
+	p := vesta()
+	r := newTestRunner(p, false)
+	r.cfg.SharedNetwork = true
+	r.cfg.NetContention = 4
+	// Idle file system: base latency.
+	if got := r.msgDelay(1e-3); got != 1e-3 {
+		t.Errorf("idle delay = %g, want base 1e-3", got)
+	}
+	// Half-utilized: (1 + 4·0.5) = 3x.
+	a := testApp(r, 0, 512)
+	a.view.RemVolume = 100
+	r.pfs.setAppStream(a, 5)
+	if got, want := r.msgDelay(1e-3), 3e-3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("delay at 50%% utilization = %g, want %g", got, want)
+	}
+	// Dedicated network ignores utilization entirely.
+	r.cfg.SharedNetwork = false
+	if got := r.msgDelay(1e-3); got != 1e-3 {
+		t.Errorf("dedicated delay = %g, want base", got)
+	}
+}
+
+func TestSharedNetworkChangesTimingsOnlyUnderIO(t *testing.T) {
+	// With I/O traffic, message timings must shift; without any I/O they
+	// must be identical.
+	apps := []AppConfig{
+		app(0, 256, 5, 2, 0.1),
+		app(1, 256, 5, 2, 0.1),
+	}
+	dedicated, err := Run(Config{Platform: vesta(), Mode: AlwaysGrant, Apps: apps, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := Run(Config{Platform: vesta(), Mode: AlwaysGrant, Apps: apps, Seed: 3,
+		SharedNetwork: true, NetContention: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Makespan == dedicated.Makespan {
+		t.Error("shared network left timings untouched under I/O load")
+	}
+	quiet := []AppConfig{app(0, 64, 3, 1, 0)}
+	d2, err := Run(Config{Platform: vesta(), Mode: Scheduled, Policy: core.MaxSysEff(),
+		Apps: quiet, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Run(Config{Platform: vesta(), Mode: Scheduled, Policy: core.MaxSysEff(),
+		Apps: quiet, Seed: 3, SharedNetwork: true, NetContention: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Makespan != d2.Makespan {
+		t.Errorf("idle shared network changed timing: %g vs %g", s2.Makespan, d2.Makespan)
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	for app := 0; app < 3; app++ {
+		for rank := 0; rank < 10; rank++ {
+			for iter := 0; iter < 5; iter++ {
+				u := jitterU(42, app, rank, iter)
+				if u < 0 || u >= 1 {
+					t.Fatalf("jitterU out of [0,1): %g", u)
+				}
+				if u2 := jitterU(42, app, rank, iter); u2 != u {
+					t.Fatalf("jitterU not deterministic")
+				}
+			}
+		}
+	}
+	if jitterU(1, 0, 0, 0) == jitterU(2, 0, 0, 0) {
+		t.Error("jitterU ignores seed")
+	}
+}

@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bb"
+	"repro/internal/core"
+	"repro/internal/des"
+)
+
+// stream is one write in flight at the file system: a whole process
+// group's collective write (modified benchmark) or a single rank's block
+// (original benchmark).
+type stream struct {
+	app  *appRun
+	rank int // -1 for an app-level collective stream
+	iter int
+
+	// fanout marks a rank stream belonging to an approved collective
+	// write (AlwaysGrant mode) rather than to the original benchmark's
+	// per-rank loop.
+	fanout bool
+
+	remaining float64
+	cap       float64 // card-bandwidth ceiling (b or β·b)
+	rate      float64 // current transfer rate
+
+	// controlled streams move at the scheduler-granted rate; fair-share
+	// streams split the leftover capacity max-min.
+	controlled bool
+	setRate    float64
+}
+
+// pfs is the shared parallel file system (optionally fronted by a burst
+// buffer): it tracks active streams, shares bandwidth between events, and
+// fires completion and buffer-fill events.
+type pfs struct {
+	r      *runner
+	buffer *bb.Model
+
+	streams []*stream
+	lastT   float64
+
+	next    des.Handle
+	hasNext bool
+}
+
+const streamEps = 1e-9
+
+func newPFS(r *runner) *pfs {
+	p := &pfs{r: r}
+	if r.cfg.UseBB {
+		buf := r.p.BurstBuffer
+		p.buffer = bb.New(buf.Capacity, buf.IngestBW, r.p.TotalBW)
+	}
+	return p
+}
+
+// capacity returns the aggregate bandwidth available to writers now.
+func (p *pfs) capacity() float64 {
+	if p.buffer != nil {
+		return p.buffer.IngestCapacity()
+	}
+	return p.r.p.TotalBW
+}
+
+// utilization returns the current aggregate transfer rate as a fraction of
+// the file-system bandwidth, clamped to [0, 1]. Shared-network machines
+// inflate message latencies with it.
+func (p *pfs) utilization() float64 {
+	var inflow float64
+	for _, s := range p.streams {
+		inflow += s.rate
+	}
+	u := inflow / p.r.p.TotalBW
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// addRankStream registers a rank's independent block write (original
+// benchmark).
+func (p *pfs) addRankStream(a *appRun, rank int) {
+	p.advance()
+	p.streams = append(p.streams, &stream{
+		app:       a,
+		rank:      rank,
+		iter:      a.rankIter[rank],
+		remaining: a.cfg.BlockGiB,
+		cap:       p.r.p.NodeBW,
+	})
+	p.refresh()
+}
+
+// setAppStream creates or re-rates an application's collective stream at
+// the scheduler-granted rate (Scheduled mode).
+func (p *pfs) setAppStream(a *appRun, bw float64) {
+	p.advance()
+	s := p.findApp(a)
+	if s == nil {
+		s = &stream{
+			app:        a,
+			rank:       -1,
+			iter:       a.iter,
+			remaining:  a.view.RemVolume,
+			cap:        float64(a.cfg.Ranks) * p.r.p.NodeBW,
+			controlled: true,
+		}
+		p.streams = append(p.streams, s)
+	}
+	s.setRate = bw
+	if bw > 0 {
+		a.view.Phase = core.Transferring
+		a.view.Started = true
+	} else {
+		if a.view.Phase == core.Transferring {
+			a.view.PendingSince = p.r.eng.Now()
+		}
+		a.view.Phase = core.Pending
+	}
+	p.refresh()
+}
+
+// addFanout registers one block stream per rank for an approved collective
+// write (AlwaysGrant mode); they contend max-min like unmodified IOR.
+func (p *pfs) addFanout(a *appRun) {
+	p.advance()
+	for rank := 0; rank < a.cfg.Ranks; rank++ {
+		p.streams = append(p.streams, &stream{
+			app:       a,
+			rank:      rank,
+			iter:      a.iter,
+			fanout:    true,
+			remaining: a.cfg.BlockGiB,
+			cap:       p.r.p.NodeBW,
+		})
+	}
+	p.refresh()
+}
+
+func (p *pfs) findApp(a *appRun) *stream {
+	for _, s := range p.streams {
+		if s.rank == -1 && s.app == a {
+			return s
+		}
+	}
+	return nil
+}
+
+// advance integrates stream volumes and the buffer level from the last
+// update to the current instant (rates are constant in between).
+func (p *pfs) advance() {
+	now := p.r.eng.Now()
+	dt := now - p.lastT
+	if dt < 0 {
+		panic(fmt.Sprintf("cluster: pfs time going backwards %g -> %g", p.lastT, now))
+	}
+	p.lastT = now
+	if dt == 0 {
+		return
+	}
+	inflow := 0.0
+	for _, s := range p.streams {
+		if s.rate > 0 {
+			s.remaining -= s.rate * dt
+			if s.remaining < 0 {
+				s.remaining = 0
+			}
+			inflow += s.rate
+		}
+		if s.rank == -1 {
+			s.app.view.RemVolume = s.remaining
+		}
+	}
+	if p.buffer != nil {
+		p.buffer.Advance(dt, inflow)
+	}
+}
+
+// refresh recomputes stream rates under the current capacity regime,
+// completes drained streams, and schedules the next file-system event.
+func (p *pfs) refresh() {
+	p.complete()
+	p.assignRates()
+	p.scheduleNext()
+}
+
+// complete removes drained streams and notifies their owners.
+func (p *pfs) complete() {
+	var done []*stream
+	keep := p.streams[:0]
+	for _, s := range p.streams {
+		if s.remaining <= streamEps {
+			done = append(done, s)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	p.streams = keep
+	for _, s := range done {
+		switch {
+		case s.rank == -1:
+			s.app.collectiveWriteDone()
+		case s.fanout:
+			s.app.fanoutStreamDone()
+		default:
+			s.app.rankWriteDone(s.rank)
+		}
+	}
+}
+
+// assignRates shares the capacity: controlled streams first at their
+// granted rates (in application order, matching the greedy allocation that
+// produced them), then fair-share streams max-min over the remainder.
+func (p *pfs) assignRates() {
+	sort.SliceStable(p.streams, func(i, j int) bool {
+		a, b := p.streams[i], p.streams[j]
+		if a.app.cfg.ID != b.app.cfg.ID {
+			return a.app.cfg.ID < b.app.cfg.ID
+		}
+		return a.rank < b.rank
+	})
+	avail := p.capacity()
+	var fair []*stream
+	for _, s := range p.streams {
+		if s.controlled {
+			rate := s.setRate
+			if rate > s.cap {
+				rate = s.cap
+			}
+			if rate > avail {
+				rate = avail
+			}
+			s.rate = rate
+			avail -= rate
+		} else {
+			fair = append(fair, s)
+		}
+	}
+	if len(fair) > 0 {
+		caps := make([]float64, len(fair))
+		for i, s := range fair {
+			caps[i] = s.cap
+		}
+		shares := core.MaxMinFairShare(caps, avail)
+		for i, s := range fair {
+			s.rate = shares[i]
+		}
+	}
+}
+
+// scheduleNext (re)schedules the next completion or buffer-fill event.
+func (p *pfs) scheduleNext() {
+	if p.hasNext {
+		p.r.eng.Cancel(p.next)
+		p.hasNext = false
+	}
+	now := p.r.eng.Now()
+	next := -1.0
+	inflow := 0.0
+	for _, s := range p.streams {
+		if s.rate <= 0 {
+			continue
+		}
+		inflow += s.rate
+		t := now + s.remaining/s.rate
+		if next < 0 || t < next {
+			next = t
+		}
+	}
+	if p.buffer != nil {
+		if dt, ok := p.buffer.TimeToFull(inflow); ok {
+			if t := now + dt; next < 0 || t < next {
+				next = t
+			}
+		}
+	}
+	if next >= 0 {
+		p.next = p.r.eng.At(next, p.onEvent)
+		p.hasNext = true
+	}
+}
+
+func (p *pfs) onEvent() {
+	p.hasNext = false
+	p.advance()
+	p.refresh()
+}

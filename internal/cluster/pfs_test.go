@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/platform"
+)
+
+// newTestRunner builds a runner shell for driving pfs directly.
+func newTestRunner(p *platform.Platform, useBB bool) *runner {
+	r := &runner{
+		cfg: Config{Platform: p, UseBB: useBB}.withDefaults(),
+		p:   p,
+		eng: &des.Engine{},
+	}
+	r.pfs = newPFS(r)
+	return r
+}
+
+func testApp(r *runner, id, ranks int) *appRun {
+	a := newAppRun(r, AppConfig{ID: id, Name: "t", Ranks: ranks, Iterations: 1, Work: 1, BlockGiB: 1})
+	r.apps = append(r.apps, a)
+	return a
+}
+
+func TestAssignRatesControlledFirst(t *testing.T) {
+	p := vesta() // B = 10, b = 0.03125
+	r := newTestRunner(p, false)
+	a := testApp(r, 0, 256) // card 8
+	b := testApp(r, 1, 256)
+
+	// A controlled stream at 6 GiB/s plus a fair-share stream: the
+	// fair-share one gets the 4 GiB/s leftover (capped at its card 8).
+	a.view.RemVolume = 100
+	a.iter = 0
+	r.pfs.setAppStream(a, 6)
+	r.pfs.streams = append(r.pfs.streams, &stream{
+		app: b, rank: -1, remaining: 100, cap: 8,
+	})
+	r.pfs.refresh()
+
+	var ctrl, fair *stream
+	for _, s := range r.pfs.streams {
+		if s.controlled {
+			ctrl = s
+		} else {
+			fair = s
+		}
+	}
+	if ctrl == nil || fair == nil {
+		t.Fatalf("streams missing: %+v", r.pfs.streams)
+	}
+	if ctrl.rate != 6 {
+		t.Errorf("controlled rate = %g, want 6", ctrl.rate)
+	}
+	if math.Abs(fair.rate-4) > 1e-9 {
+		t.Errorf("fair-share rate = %g, want the 4 leftover", fair.rate)
+	}
+}
+
+func TestAssignRatesCapsControlledAtCapacity(t *testing.T) {
+	p := vesta()
+	r := newTestRunner(p, false)
+	a := testApp(r, 0, 512) // card 16 > B
+	a.view.RemVolume = 100
+	r.pfs.setAppStream(a, 16) // scheduler over-granted; pfs must clamp at B
+	s := r.pfs.findApp(a)
+	if s.rate > p.TotalBW+1e-9 {
+		t.Errorf("controlled stream rate %g exceeds B = %g", s.rate, p.TotalBW)
+	}
+}
+
+func TestPfsAdvanceConservesVolume(t *testing.T) {
+	p := vesta()
+	r := newTestRunner(p, false)
+	a := testApp(r, 0, 256)
+	a.view.RemVolume = 20
+	r.pfs.setAppStream(a, 5)
+	// Manually advance the engine clock by stepping a scheduled no-op.
+	r.eng.After(2, func() {})
+	r.eng.Step()
+	r.pfs.advance()
+	s := r.pfs.findApp(a)
+	if math.Abs(s.remaining-10) > 1e-9 {
+		t.Errorf("remaining = %g, want 10 after 2 s at 5 GiB/s", s.remaining)
+	}
+	if math.Abs(a.view.RemVolume-10) > 1e-9 {
+		t.Errorf("view not synced: %g", a.view.RemVolume)
+	}
+}
+
+func TestPfsBufferRegimeSwitch(t *testing.T) {
+	p := vesta() // BB: 128 GiB capacity, 20 GiB/s ingest, 10 drain
+	r := newTestRunner(p, true)
+	if got := r.pfs.capacity(); got != 20 {
+		t.Errorf("empty-buffer capacity = %g, want ingest 20", got)
+	}
+	// Fill the buffer via a sustained 20 GiB/s inflow.
+	a := testApp(r, 0, 1024) // card 32
+	a.view.RemVolume = 1000
+	r.pfs.setAppStream(a, 20)
+	// Net +10 GiB/s; full after 12.8 s.
+	r.eng.After(12.8, func() {})
+	r.eng.Step()
+	r.pfs.advance()
+	if !r.pfs.buffer.Full() {
+		t.Fatalf("buffer not full at level %g", r.pfs.buffer.Level())
+	}
+	if got := r.pfs.capacity(); got != 10 {
+		t.Errorf("full-buffer capacity = %g, want drain 10", got)
+	}
+}
+
+func TestSchedServerSerializesRequests(t *testing.T) {
+	p := vesta()
+	r := newTestRunner(p, false)
+	r.cfg.Mode = Scheduled
+	r.cfg.Policy = core.MaxSysEff()
+	r.sched = &schedServer{r: r}
+	a := testApp(r, 0, 64)
+	b := testApp(r, 1, 64)
+	a.view.Phase = core.Pending
+	a.view.RemVolume = 1
+	b.view.Phase = core.Pending
+	b.view.RemVolume = 1
+
+	// Two requests arriving at t=0 must be processed ProcTime apart.
+	r.sched.request(a)
+	r.sched.request(b)
+	if got, want := r.sched.busyUntil, 2*r.cfg.ProcTime; math.Abs(got-want) > 1e-12 {
+		t.Errorf("busyUntil = %g, want %g (serialized)", got, want)
+	}
+	r.eng.Run()
+	// Two request rounds plus completion-triggered rounds while peers
+	// still transfer; empty rounds are not counted.
+	if r.sched.decisions < 2 {
+		t.Errorf("decisions = %d, want at least 2", r.sched.decisions)
+	}
+	if r.sched.requests != 2 {
+		t.Errorf("requests = %d, want 2", r.sched.requests)
+	}
+}
+
+func TestStaleGrantIgnored(t *testing.T) {
+	p := vesta()
+	r := newTestRunner(p, false)
+	r.cfg.Mode = Scheduled
+	r.cfg.Policy = core.MaxSysEff()
+	a := testApp(r, 0, 64)
+	a.iter = 3 // current iteration
+	a.view.Phase = core.Pending
+	a.view.RemVolume = 5
+	a.grantArrived(2, 4, false) // grant for an older iteration
+	if got := r.pfs.findApp(a); got != nil {
+		t.Error("stale grant created a stream")
+	}
+	a.grantArrived(3, 4, false)
+	if got := r.pfs.findApp(a); got == nil {
+		t.Error("current grant ignored")
+	}
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import "repro/internal/core"
+
+// schedServer is the global scheduler of the modified IOR benchmark: "one
+// separate thread acts as the scheduler and receives I/O requests for all
+// groups". Requests are processed serially (ProcTime each); replies travel
+// back with ReqLatency. In AlwaysGrant mode it approves every request
+// without scheduling, which is how the paper isolates the machinery's
+// overhead (Figure 14); in Scheduled mode it runs a core policy and sends
+// bandwidth grants.
+type schedServer struct {
+	r *runner
+
+	busyUntil float64
+	requests  int
+	decisions int
+
+	// nextWake is the time of the earliest scheduled self-wake (for
+	// Waker policies such as core.Timeout); zero when none is pending.
+	nextWake float64
+}
+
+// serve enqueues fn behind the server's serialized processing.
+func (s *schedServer) serve(fn func()) {
+	now := s.r.eng.Now()
+	start := s.busyUntil
+	if now > start {
+		start = now
+	}
+	s.busyUntil = start + s.r.cfg.ProcTime
+	s.r.eng.At(s.busyUntil, fn)
+}
+
+// request handles an application's I/O request arrival.
+func (s *schedServer) request(a *appRun) {
+	s.requests++
+	iter := a.iter
+	s.serve(func() {
+		if s.r.cfg.Mode == AlwaysGrant {
+			// Approve unconditionally; contention is resolved by the
+			// file system's fair sharing.
+			s.r.messages++
+			s.r.eng.After(s.r.msgDelay(s.r.cfg.ReqLatency), func() { a.grantArrived(iter, 0, true) })
+			return
+		}
+		s.decide()
+	})
+}
+
+// transferDone handles a completion notification: freed bandwidth may be
+// re-granted to stalled applications.
+func (s *schedServer) transferDone() {
+	if s.r.cfg.Mode == AlwaysGrant {
+		return
+	}
+	s.serve(s.decide)
+}
+
+// decide runs the scheduling policy over the current application states
+// and sends (possibly zero) bandwidth grants to every application that
+// wants I/O.
+func (s *schedServer) decide() {
+	r := s.r
+	r.pfs.advance()
+	var views []*core.AppView
+	var apps []*appRun
+	for _, a := range r.apps {
+		if a.view.WantsIO() {
+			views = append(views, &a.view)
+			apps = append(apps, a)
+		}
+	}
+	if len(views) == 0 {
+		return
+	}
+	s.decisions++
+	cap := core.Capacity{TotalBW: r.pfs.capacity(), NodeBW: r.p.NodeBW}
+	grants := r.cfg.Policy.Allocate(r.eng.Now(), views, cap)
+	granted := make(map[int]float64, len(grants))
+	for _, g := range grants {
+		granted[g.AppID] = g.BW
+	}
+	for _, a := range apps {
+		a := a
+		iter := a.iter
+		bw := granted[a.cfg.ID]
+		r.messages++
+		r.eng.After(r.msgDelay(r.cfg.ReqLatency), func() { a.grantArrived(iter, bw, false) })
+	}
+	s.armWake(views)
+}
+
+// armWake schedules the policy's next self-chosen decision point, if it
+// wants one and none earlier is already pending.
+func (s *schedServer) armWake(views []*core.AppView) {
+	w, ok := s.r.cfg.Policy.(core.Waker)
+	if !ok {
+		return
+	}
+	now := s.r.eng.Now()
+	wake, ok := w.NextWake(now, views)
+	if !ok || wake <= now {
+		return
+	}
+	if s.nextWake > now && s.nextWake <= wake {
+		return // an earlier wake is already armed
+	}
+	s.nextWake = wake
+	s.r.eng.At(wake, func() {
+		s.nextWake = 0
+		s.serve(s.decide)
+	})
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Grant is a bandwidth assignment for one application: the aggregate rate
+// β(k)·γ(k) over all its nodes, in GiB/s.
+type Grant struct {
+	AppID int
+	BW    float64
+}
+
+// Capacity describes the I/O capacity available at a decision event.
+// TotalBW is the bandwidth the allocator may hand out (B, or the burst
+// buffer ingest bandwidth while the buffer has free space); NodeBW is b.
+type Capacity struct {
+	TotalBW float64
+	NodeBW  float64
+}
+
+// Scheduler decides, at every event, how the available bandwidth is shared
+// among the applications that want to perform I/O. Implementations must be
+// deterministic given identical inputs.
+type Scheduler interface {
+	// Name identifies the scheduler in reports ("MaxSysEff",
+	// "Priority-MinDilation", "fair-share", ...).
+	Name() string
+	// Allocate returns one grant per application that receives nonzero
+	// bandwidth. apps contains only applications with WantsIO() true.
+	// The returned grants must respect Σ BW <= cap.TotalBW and per-app
+	// BW <= β·NodeBW.
+	Allocate(now float64, apps []*AppView, cap Capacity) []Grant
+}
+
+// GreedyAllocate walks the applications in the given favored-first order
+// and hands each one min(β·b, bw_avail) until the capacity is exhausted.
+// This is exactly the paper's notion of "favoring" an application: the
+// favored application is executed as fast as possible; applications beyond
+// the capacity are stalled.
+func GreedyAllocate(order []*AppView, cap Capacity) []Grant {
+	grants := make([]Grant, 0, len(order))
+	avail := cap.TotalBW
+	for _, v := range order {
+		if avail <= 0 {
+			break
+		}
+		bw := float64(v.Nodes) * cap.NodeBW
+		if bw > avail {
+			bw = avail
+		}
+		if bw <= 0 {
+			continue
+		}
+		grants = append(grants, Grant{AppID: v.ID, BW: bw})
+		avail -= bw
+	}
+	return grants
+}
+
+// MaxMinFairShare computes the max-min fair allocation of total bandwidth
+// among applications with individual caps: repeatedly split the remaining
+// bandwidth equally among unsaturated applications, capping each at its
+// own limit. It returns one value per input cap, aligned by index.
+// This is the behaviour of a neutral server-side scheduler that serves all
+// concurrent streams alike, and stands in for the production Intrepid/Mira
+// I/O schedulers.
+func MaxMinFairShare(caps []float64, total float64) []float64 {
+	n := len(caps)
+	out := make([]float64, n)
+	if n == 0 || total <= 0 {
+		return out
+	}
+	// Sort indices by cap ascending; saturate small caps first.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if caps[idx[a]] != caps[idx[b]] {
+			return caps[idx[a]] < caps[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	remaining := total
+	left := n
+	for _, i := range idx {
+		share := remaining / float64(left)
+		bw := caps[i]
+		if bw > share {
+			bw = share
+		}
+		if bw < 0 {
+			bw = 0
+		}
+		out[i] = bw
+		remaining -= bw
+		left--
+	}
+	return out
+}
+
+// WeightedFairShare computes the weighted max-min fair allocation:
+// repeatedly split the remaining bandwidth among unsaturated applications
+// in proportion to their weights, capping each at its own limit. Equal
+// weights reduce it to MaxMinFairShare.
+func WeightedFairShare(caps, weights []float64, total float64) []float64 {
+	n := len(caps)
+	out := make([]float64, n)
+	if n == 0 || total <= 0 {
+		return out
+	}
+	if len(weights) != n {
+		panic(fmt.Sprintf("core: %d weights for %d caps", len(weights), n))
+	}
+	// Saturate in increasing order of cap/weight: once an application's
+	// proportional share exceeds its cap it stays capped as the shares of
+	// the others can only grow.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	ratio := func(i int) float64 {
+		if weights[i] <= 0 {
+			return 0
+		}
+		return caps[i] / weights[i]
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ra, rb := ratio(idx[a]), ratio(idx[b])
+		if ra != rb {
+			return ra < rb
+		}
+		return idx[a] < idx[b]
+	})
+	remaining := total
+	var weightLeft float64
+	for _, i := range idx {
+		weightLeft += weights[i]
+	}
+	for _, i := range idx {
+		if weightLeft <= 0 {
+			break
+		}
+		share := remaining * weights[i] / weightLeft
+		bw := caps[i]
+		if bw > share {
+			bw = share
+		}
+		if bw < 0 {
+			bw = 0
+		}
+		out[i] = bw
+		remaining -= bw
+		weightLeft -= weights[i]
+	}
+	return out
+}
+
+// ValidateGrants reports whether grants respect the capacity constraints
+// for the given views; it returns a non-nil error describing the first
+// violation. Used by tests and by the simulator in debug mode.
+func ValidateGrants(grants []Grant, apps []*AppView, cap Capacity) error {
+	byID := make(map[int]*AppView, len(apps))
+	for _, v := range apps {
+		byID[v.ID] = v
+	}
+	var sum float64
+	for _, g := range grants {
+		v, ok := byID[g.AppID]
+		if !ok {
+			return &GrantError{g, "grant for application not requesting I/O"}
+		}
+		if g.BW < 0 {
+			return &GrantError{g, "negative bandwidth"}
+		}
+		if g.BW > float64(v.Nodes)*cap.NodeBW*(1+1e-9) {
+			return &GrantError{g, "exceeds per-application cap β·b"}
+		}
+		sum += g.BW
+	}
+	if sum > cap.TotalBW*(1+1e-9) {
+		return &GrantError{Grant{}, "total grants exceed capacity B"}
+	}
+	return nil
+}
+
+// GrantError describes an invalid bandwidth grant.
+type GrantError struct {
+	Grant  Grant
+	Reason string
+}
+
+func (e *GrantError) Error() string {
+	return fmt.Sprintf("core: invalid grant app %d: %s", e.Grant.AppID, e.Reason)
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchViews(n int) []*AppView {
+	apps := make([]*AppView, n)
+	for i := range apps {
+		apps[i] = &AppView{
+			ID:            i,
+			Nodes:         64 + (i%8)*128,
+			Phase:         Pending,
+			RemVolume:     float64(10 + i%100),
+			Started:       i%3 == 0,
+			LastIOEnd:     float64(i % 50),
+			CreditedWork:  float64(100 + i%37),
+			CreditedIdeal: float64(120 + i%41),
+		}
+	}
+	return apps
+}
+
+func BenchmarkAllocate(b *testing.B) {
+	cap := Capacity{TotalBW: 64, NodeBW: 0.0125}
+	for _, n := range []int{8, 64, 512} {
+		views := benchViews(n)
+		for _, sched := range []Scheduler{
+			MaxSysEff(), MinDilation().WithPriority(), MinMax(0.5), FairShare{},
+		} {
+			b.Run(fmt.Sprintf("%s/apps-%d", sched.Name(), n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					grants := sched.Allocate(1000, views, cap)
+					if len(grants) == 0 {
+						b.Fatal("no grants")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkMaxMinFairShare(b *testing.B) {
+	for _, n := range []int{8, 128, 2048} {
+		caps := make([]float64, n)
+		for i := range caps {
+			caps[i] = float64(1 + i%16)
+		}
+		b.Run(fmt.Sprintf("streams-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := MaxMinFairShare(caps, 100)
+				if out[0] < 0 {
+					b.Fatal("negative share")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OrderFunc sorts the candidate applications into favored-first order.
+// It must be a strict weak ordering and deterministic; ties are broken by
+// application ID before the function sees the slice.
+type OrderFunc func(now float64, apps []*AppView)
+
+// Heuristic is an online scheduler built from a favored-first ordering and
+// the greedy allocation of Section 3.1. If Priority is set, applications
+// whose current transfer already started are kept ahead of all others
+// (each group internally ordered by the heuristic) — the disk-locality
+// variant used on machines with spinning disks such as Vesta.
+type Heuristic struct {
+	name     string
+	order    OrderFunc
+	Priority bool
+}
+
+var _ Scheduler = (*Heuristic)(nil)
+
+// Name implements Scheduler.
+func (h *Heuristic) Name() string {
+	if h.Priority {
+		return "Priority-" + h.name
+	}
+	return h.name
+}
+
+// BaseName returns the heuristic name without the Priority prefix.
+func (h *Heuristic) BaseName() string { return h.name }
+
+// WithPriority returns a copy of the heuristic with the Priority constraint
+// enabled.
+func (h *Heuristic) WithPriority() *Heuristic {
+	c := *h
+	c.Priority = true
+	return &c
+}
+
+// Allocate implements Scheduler: sort candidates favored-first, then grant
+// greedily.
+func (h *Heuristic) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
+	order := make([]*AppView, len(apps))
+	copy(order, apps)
+	sort.Slice(order, func(i, j int) bool { return order[i].ID < order[j].ID })
+	h.order(now, order)
+	if h.Priority {
+		// Stable partition: started transfers first, preserving the
+		// heuristic order inside each group.
+		sort.SliceStable(order, func(i, j int) bool {
+			return order[i].Started && !order[j].Started
+		})
+	}
+	return GreedyAllocate(order, cap)
+}
+
+// RoundRobin returns the paper's comparison baseline heuristic: FCFS with a
+// fairness twist. Without congestion every requester is served; under
+// congestion the application that finished the I/O of its last instance the
+// longest time ago is favored.
+func RoundRobin() *Heuristic {
+	return &Heuristic{
+		name: "RoundRobin",
+		order: func(now float64, apps []*AppView) {
+			sort.SliceStable(apps, func(i, j int) bool {
+				return apps[i].LastIOEnd < apps[j].LastIOEnd
+			})
+		},
+	}
+}
+
+// MinDilation returns the user-oriented heuristic: favor applications with
+// low ρ̃(t)/ρ(t), i.e. the applications currently suffering the largest
+// slowdown.
+func MinDilation() *Heuristic {
+	return &Heuristic{
+		name: "MinDilation",
+		order: func(now float64, apps []*AppView) {
+			sort.SliceStable(apps, func(i, j int) bool {
+				return apps[i].Ratio(now) < apps[j].Ratio(now)
+			})
+		},
+	}
+}
+
+// MaxSysEff returns the CPU-oriented heuristic: favor applications with low
+// β(k)·ρ̃(k)(t), the cheapest way to raise the platform-wide efficiency sum.
+func MaxSysEff() *Heuristic {
+	return &Heuristic{
+		name: "MaxSysEff",
+		order: func(now float64, apps []*AppView) {
+			sort.SliceStable(apps, func(i, j int) bool {
+				return apps[i].WeightedEff(now) < apps[j].WeightedEff(now)
+			})
+		},
+	}
+}
+
+// MinMax returns the trade-off heuristic MinMax-γ: behave like MaxSysEff
+// unless some application has fallen below the dilation threshold
+// (ρ̃/ρ < γ), in which case the most-slowed applications are favored first.
+// γ = 0 is exactly MaxSysEff and γ = 1 exactly MinDilation.
+func MinMax(gamma float64) *Heuristic {
+	if gamma < 0 || gamma > 1 {
+		panic(fmt.Sprintf("core: MinMax gamma = %g out of [0,1]", gamma))
+	}
+	return &Heuristic{
+		name: fmt.Sprintf("MinMax-%.2g", gamma),
+		order: func(now float64, apps []*AppView) {
+			below := false
+			for _, v := range apps {
+				if v.Ratio(now) < gamma {
+					below = true
+					break
+				}
+			}
+			if below {
+				sort.SliceStable(apps, func(i, j int) bool {
+					return apps[i].Ratio(now) < apps[j].Ratio(now)
+				})
+				return
+			}
+			sort.SliceStable(apps, func(i, j int) bool {
+				return apps[i].WeightedEff(now) < apps[j].WeightedEff(now)
+			})
+		},
+	}
+}
+
+// FairShare is the baseline standing in for the production server-side
+// schedulers on Intrepid and Mira (and for unmodified IOR on Vesta): all
+// applications that want I/O share the bandwidth max-min fairly, with no
+// application-level information.
+type FairShare struct{}
+
+var _ Scheduler = FairShare{}
+
+// Name implements Scheduler.
+func (FairShare) Name() string { return "fair-share" }
+
+// Allocate implements Scheduler.
+func (FairShare) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
+	order := make([]*AppView, len(apps))
+	copy(order, apps)
+	sort.Slice(order, func(i, j int) bool { return order[i].ID < order[j].ID })
+	caps := make([]float64, len(order))
+	for i, v := range order {
+		caps[i] = float64(v.Nodes) * cap.NodeBW
+	}
+	shares := MaxMinFairShare(caps, cap.TotalBW)
+	grants := make([]Grant, 0, len(order))
+	for i, v := range order {
+		if shares[i] > 0 {
+			grants = append(grants, Grant{AppID: v.ID, BW: shares[i]})
+		}
+	}
+	return grants
+}
+
+// ProportionalShare is a baseline that splits bandwidth proportionally to
+// application size (weight β), capped per application at β·b — the
+// behaviour of a file system whose service rate follows stream counts,
+// since an application's stream count scales with its allocation. It sits
+// between FairShare (equal shares) and the paper's application-aware
+// heuristics in the ablation benchmarks.
+type ProportionalShare struct{}
+
+var _ Scheduler = ProportionalShare{}
+
+// Name implements Scheduler.
+func (ProportionalShare) Name() string { return "proportional-share" }
+
+// Allocate implements Scheduler.
+func (ProportionalShare) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
+	order := make([]*AppView, len(apps))
+	copy(order, apps)
+	sort.Slice(order, func(i, j int) bool { return order[i].ID < order[j].ID })
+	caps := make([]float64, len(order))
+	weights := make([]float64, len(order))
+	for i, v := range order {
+		caps[i] = float64(v.Nodes) * cap.NodeBW
+		weights[i] = float64(v.Nodes)
+	}
+	shares := WeightedFairShare(caps, weights, cap.TotalBW)
+	grants := make([]Grant, 0, len(order))
+	for i, v := range order {
+		if shares[i] > 0 {
+			grants = append(grants, Grant{AppID: v.ID, BW: shares[i]})
+		}
+	}
+	return grants
+}
+
+// Exclusive is a degenerate scheduler that serves a single application at a
+// time in FCFS order (by pending time, then ID). It models the strictest
+// congestion-avoidance policy and is used in ablation benchmarks.
+type Exclusive struct{}
+
+var _ Scheduler = Exclusive{}
+
+// Name implements Scheduler.
+func (Exclusive) Name() string { return "exclusive-fcfs" }
+
+// Allocate implements Scheduler.
+func (Exclusive) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
+	if len(apps) == 0 {
+		return nil
+	}
+	best := apps[0]
+	for _, v := range apps[1:] {
+		if v.LastIOEnd < best.LastIOEnd ||
+			(v.LastIOEnd == best.LastIOEnd && v.ID < best.ID) {
+			best = v
+		}
+	}
+	bw := float64(best.Nodes) * cap.NodeBW
+	if bw > cap.TotalBW {
+		bw = cap.TotalBW
+	}
+	return []Grant{{AppID: best.ID, BW: bw}}
+}
+
+// AllHeuristics returns the full set evaluated in Figure 6: the four base
+// heuristics and their Priority variants, with the MinMax threshold the
+// paper uses there (γ = 0.5).
+func AllHeuristics() []Scheduler {
+	base := []*Heuristic{RoundRobin(), MinDilation(), MaxSysEff(), MinMax(0.5)}
+	out := make([]Scheduler, 0, 2*len(base))
+	for _, h := range base {
+		out = append(out, h, h.WithPriority())
+	}
+	return out
+}
+
+// ByName builds a scheduler from its report name. Recognized:
+// RoundRobin, MinDilation, MaxSysEff, MinMax-<γ>, fair-share,
+// proportional-share, exclusive-fcfs, and the heuristics with a
+// "Priority-" prefix.
+func ByName(name string) (Scheduler, error) {
+	prio := false
+	base := name
+	if len(name) > 9 && name[:9] == "Priority-" {
+		prio = true
+		base = name[9:]
+	}
+	var h *Heuristic
+	switch {
+	case base == "RoundRobin":
+		h = RoundRobin()
+	case base == "MinDilation":
+		h = MinDilation()
+	case base == "MaxSysEff":
+		h = MaxSysEff()
+	case len(base) > 7 && base[:7] == "MinMax-":
+		var gamma float64
+		if _, err := fmt.Sscanf(base[7:], "%g", &gamma); err != nil {
+			return nil, fmt.Errorf("core: bad MinMax threshold in %q: %v", name, err)
+		}
+		h = MinMax(gamma)
+	case base == "fair-share":
+		if prio {
+			return nil, fmt.Errorf("core: fair-share has no Priority variant")
+		}
+		return FairShare{}, nil
+	case base == "proportional-share":
+		if prio {
+			return nil, fmt.Errorf("core: proportional-share has no Priority variant")
+		}
+		return ProportionalShare{}, nil
+	case base == "exclusive-fcfs":
+		if prio {
+			return nil, fmt.Errorf("core: exclusive-fcfs has no Priority variant")
+		}
+		return Exclusive{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheduler %q", name)
+	}
+	if prio {
+		return h.WithPriority(), nil
+	}
+	return h, nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Timeout wraps a scheduler with the paper's wait-time control: "the
+// scheduler controls the wait time for all applications and can make sure
+// that they do not exceed the time-out existing in the I/O system"
+// (Section 2.1). Applications whose pending request is older than MaxWait
+// are promoted ahead of the inner policy's choices, oldest first, so no
+// request can starve past the file system's timeout regardless of the
+// optimization objective.
+type Timeout struct {
+	Inner   Scheduler
+	MaxWait float64
+}
+
+var _ Scheduler = Timeout{}
+var _ Waker = Timeout{}
+
+// Waker is implemented by schedulers that need decision points at times of
+// their own choosing, in addition to the model's I/O events. The engines
+// (simulator, cluster emulator, TCP daemon) call NextWake after every
+// allocation and arrange a re-allocation at the returned instant.
+type Waker interface {
+	// NextWake returns the next time the scheduler wants to re-decide,
+	// and whether it wants one at all. Only applications currently
+	// wanting I/O are passed in.
+	NextWake(now float64, apps []*AppView) (float64, bool)
+}
+
+// NextWake implements Waker: the earliest pending application's expiry.
+// Without it, a stall that begins mid-transfer could only be serviced at
+// the next I/O event, far past the window.
+func (t Timeout) NextWake(now float64, apps []*AppView) (float64, bool) {
+	best := 0.0
+	found := false
+	for _, v := range apps {
+		if v.Phase != Pending {
+			continue
+		}
+		wake := v.PendingSince + t.MaxWait
+		if wake <= now {
+			wake = now + t.MaxWait // already expired; re-check one window out
+		}
+		if !found || wake < best {
+			best, found = wake, true
+		}
+	}
+	return best, found
+}
+
+// NewTimeout wraps inner; it panics on a non-positive window (a zero
+// window would preempt every decision and means a configuration error).
+func NewTimeout(inner Scheduler, maxWait float64) Timeout {
+	if inner == nil {
+		panic("core: Timeout with nil inner scheduler")
+	}
+	if maxWait <= 0 {
+		panic(fmt.Sprintf("core: Timeout window %g, want > 0", maxWait))
+	}
+	return Timeout{Inner: inner, MaxWait: maxWait}
+}
+
+// Name implements Scheduler.
+func (t Timeout) Name() string {
+	return fmt.Sprintf("Timeout-%g(%s)", t.MaxWait, t.Inner.Name())
+}
+
+// Allocate implements Scheduler: expired stalls first (oldest first, at
+// full card bandwidth), then the inner policy over the remaining capacity.
+// An application counts as expired when it is currently stalled (Pending)
+// and its stall began more than MaxWait ago — this covers both requests
+// never served and transfers preempted for too long.
+func (t Timeout) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
+	var expired, rest []*AppView
+	for _, v := range apps {
+		if v.Phase == Pending && now-v.PendingSince > t.MaxWait {
+			expired = append(expired, v)
+		} else {
+			rest = append(rest, v)
+		}
+	}
+	if len(expired) == 0 {
+		return t.Inner.Allocate(now, apps, cap)
+	}
+	sort.Slice(expired, func(i, j int) bool {
+		if expired[i].PendingSince != expired[j].PendingSince {
+			return expired[i].PendingSince < expired[j].PendingSince
+		}
+		return expired[i].ID < expired[j].ID
+	})
+	grants := GreedyAllocate(expired, cap)
+	var used float64
+	for _, g := range grants {
+		used += g.BW
+	}
+	remaining := cap
+	remaining.TotalBW -= used
+	if remaining.TotalBW > 0 && len(rest) > 0 {
+		grants = append(grants, t.Inner.Allocate(now, rest, remaining)...)
+	}
+	return grants
+}

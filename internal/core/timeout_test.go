@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestTimeoutPromotesExpired(t *testing.T) {
+	cap := Capacity{TotalBW: 4, NodeBW: 1}
+	// Under plain MaxSysEff, fresh (lower β·ρ̃) is favored; with the
+	// timeout wrapper the long-stalled request must go first.
+	stale := view(0, 4, func(v *AppView) {
+		v.PendingSince = 0
+		v.CreditedWork = 40
+		v.CreditedIdeal = 41
+	})
+	fresh := view(1, 4, func(v *AppView) {
+		v.PendingSince = 98
+		v.CreditedWork = 10
+		v.CreditedIdeal = 20
+	})
+	inner := MaxSysEff()
+	if g := inner.Allocate(100, []*AppView{stale, fresh}, cap); g[0].AppID != 1 {
+		t.Fatalf("precondition: MaxSysEff should favor app 1, got %v", g)
+	}
+	wrapped := NewTimeout(inner, 50)
+	grants := wrapped.Allocate(100, []*AppView{stale, fresh}, cap)
+	if grants[0].AppID != 0 {
+		t.Errorf("timeout wrapper favored %d, want the expired app 0: %v", grants[0].AppID, grants)
+	}
+	if err := ValidateGrants(grants, []*AppView{stale, fresh}, cap); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeoutNoExpiredDelegates(t *testing.T) {
+	cap := Capacity{TotalBW: 4, NodeBW: 1}
+	a := view(0, 4, func(v *AppView) { v.PendingSince = 99 })
+	b := view(1, 4, func(v *AppView) { v.PendingSince = 99 })
+	inner := RoundRobin()
+	want := inner.Allocate(100, []*AppView{a, b}, cap)
+	got := NewTimeout(inner, 50).Allocate(100, []*AppView{a, b}, cap)
+	if len(want) != len(got) || want[0] != got[0] {
+		t.Errorf("wrapper diverged from inner with no expirations: %v vs %v", got, want)
+	}
+}
+
+func TestTimeoutIgnoresActiveTransfers(t *testing.T) {
+	cap := Capacity{TotalBW: 4, NodeBW: 1}
+	// An actively transferring app is not stalled, no matter how stale
+	// its PendingSince; it must not be promoted via the timeout path.
+	active := view(0, 4, func(v *AppView) {
+		v.PendingSince = 0
+		v.Phase = Transferring
+		v.Started = true
+		v.CreditedWork = 40
+		v.CreditedIdeal = 41
+	})
+	needy := view(1, 4, func(v *AppView) {
+		v.PendingSince = 99
+		v.CreditedWork = 10
+		v.CreditedIdeal = 20
+	})
+	grants := NewTimeout(MaxSysEff(), 50).Allocate(100, []*AppView{active, needy}, cap)
+	if grants[0].AppID != 1 {
+		t.Errorf("active transfer treated as expired: %v", grants)
+	}
+}
+
+func TestTimeoutPromotesPreemptedTransfers(t *testing.T) {
+	cap := Capacity{TotalBW: 4, NodeBW: 1}
+	// A transfer preempted long ago (Started but now Pending) is a stall
+	// and must be promoted.
+	preempted := view(0, 4, func(v *AppView) {
+		v.PendingSince = 10
+		v.Started = true
+		v.CreditedWork = 40
+		v.CreditedIdeal = 41
+	})
+	fresh := view(1, 4, func(v *AppView) {
+		v.PendingSince = 99
+		v.CreditedWork = 10
+		v.CreditedIdeal = 20
+	})
+	grants := NewTimeout(MaxSysEff(), 50).Allocate(100, []*AppView{preempted, fresh}, cap)
+	if grants[0].AppID != 0 {
+		t.Errorf("preempted stall not promoted: %v", grants)
+	}
+}
+
+func TestTimeoutOldestFirstAmongExpired(t *testing.T) {
+	cap := Capacity{TotalBW: 4, NodeBW: 1}
+	a := view(0, 4, func(v *AppView) { v.PendingSince = 20 })
+	b := view(1, 4, func(v *AppView) { v.PendingSince = 5 })
+	grants := NewTimeout(MaxSysEff(), 10).Allocate(100, []*AppView{a, b}, cap)
+	if grants[0].AppID != 1 {
+		t.Errorf("expired order wrong: %v (want oldest, app 1, first)", grants)
+	}
+}
+
+func TestTimeoutName(t *testing.T) {
+	got := NewTimeout(MinDilation(), 30).Name()
+	if got != "Timeout-30(MinDilation)" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestNewTimeoutPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTimeout(nil, 10) },
+		func() { NewTimeout(MaxSysEff(), 0) },
+		func() { NewTimeout(MaxSysEff(), -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on invalid Timeout")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTimeoutNextWake(t *testing.T) {
+	tm := NewTimeout(MaxSysEff(), 50)
+	a := view(0, 4, func(v *AppView) { v.PendingSince = 30 })
+	b := view(1, 4, func(v *AppView) { v.PendingSince = 10 })
+	active := view(2, 4, func(v *AppView) { v.Phase = Transferring; v.PendingSince = 0 })
+
+	// Earliest pending expiry: app b at 10+50 = 60.
+	wake, ok := tm.NextWake(40, []*AppView{a, b, active})
+	if !ok || wake != 60 {
+		t.Errorf("NextWake = %g/%v, want 60/true", wake, ok)
+	}
+	// An already-expired stall re-checks one window out.
+	wake, ok = tm.NextWake(100, []*AppView{b})
+	if !ok || wake != 150 {
+		t.Errorf("NextWake past expiry = %g/%v, want 150/true", wake, ok)
+	}
+	// Only active transfers: no wake needed.
+	if _, ok := tm.NextWake(40, []*AppView{active}); ok {
+		t.Error("NextWake wanted a wake with nothing pending")
+	}
+	if _, ok := tm.NextWake(40, nil); ok {
+		t.Error("NextWake wanted a wake with no applications")
+	}
+}
+
+// TestTimeoutBoundsWaitInSimulatedRun drives the wrapper through many
+// allocation rounds emulating a simulator loop and checks the promoted
+// grants never violate capacity.
+func TestTimeoutCapacityInvariant(t *testing.T) {
+	p := &platform.Platform{Name: "t", Nodes: 100, NodeBW: 1, TotalBW: 10}
+	cap := Capacity{TotalBW: p.TotalBW, NodeBW: p.NodeBW}
+	wrapped := NewTimeout(MaxSysEff(), 25)
+	for round := 0; round < 200; round++ {
+		now := float64(round)
+		var apps []*AppView
+		for i := 0; i < 12; i++ {
+			apps = append(apps, &AppView{
+				ID:            i,
+				Nodes:         3 + (i*7)%20,
+				Phase:         Pending,
+				RemVolume:     1 + math.Mod(float64(i*13+round), 40),
+				PendingSince:  now - math.Mod(float64(i*31+round*3), 60),
+				CreditedWork:  float64(10 + i),
+				CreditedIdeal: float64(12 + i),
+			})
+		}
+		grants := wrapped.Allocate(now, apps, cap)
+		if err := ValidateGrants(grants, apps, cap); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package des
+
+import "testing"
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		// A self-perpetuating chain of 10k events exercises push/pop.
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 10000 {
+				e.After(1, tick)
+			}
+		}
+		e.After(1, tick)
+		e.Run()
+		if n != 10000 {
+			b.Fatal("event chain broke")
+		}
+	}
+}
+
+func BenchmarkCancel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		handles := make([]Handle, 1000)
+		for j := range handles {
+			handles[j] = e.At(float64(j), func() {})
+		}
+		for _, h := range handles {
+			e.Cancel(h)
+		}
+	}
+}

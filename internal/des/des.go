@@ -1,0 +1,161 @@
+// Package des provides a deterministic discrete-event simulation engine.
+//
+// Events are ordered by (time, sequence number): two events scheduled for
+// the same instant fire in the order they were scheduled, which makes every
+// simulation built on the engine fully deterministic.
+//
+// The engine is the substrate for the rank-level cluster emulator
+// (internal/cluster). The coarser application-level simulator
+// (internal/sim) recomputes its own next-event times analytically and does
+// not need callback scheduling.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine is a discrete-event scheduler with a virtual clock.
+// The zero value is ready to use.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	steps  uint64
+}
+
+// Handle identifies a scheduled event and allows cancellation.
+type Handle struct {
+	ev *event
+}
+
+type event struct {
+	time  float64
+	seq   uint64
+	fn    func()
+	index int // heap index, -1 when removed
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Len returns the number of pending events.
+func (e *Engine) Len() int { return len(e.events) }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a logic error in a discrete-event model.
+func (e *Engine) At(t float64, fn func()) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling event at %g before now %g", t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic("des: scheduling event at NaN")
+	}
+	ev := &event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) Handle {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes the event from the queue. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// actually removed.
+func (e *Engine) Cancel(h Handle) bool {
+	if h.ev == nil || h.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.events, h.ev.index)
+	h.ev.index = -1
+	return true
+}
+
+// Step executes the next event, advancing the clock. It reports whether an
+// event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.time
+	e.steps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.events) > 0 && e.events[0].time <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunLimit executes at most n events; it returns the number executed.
+// It is a safety valve for tests that must terminate even if a model
+// accidentally self-perpetuates.
+func (e *Engine) RunLimit(n uint64) uint64 {
+	var done uint64
+	for done < n && e.Step() {
+		done++
+	}
+	return done
+}
+
+// NextTime returns the time of the next pending event and true, or 0 and
+// false if the queue is empty.
+func (e *Engine) NextTime() (float64, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].time, true
+}

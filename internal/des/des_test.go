@@ -1,0 +1,170 @@
+package des
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("final time = %g, want 3", e.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	var e Engine
+	var times []float64
+	e.After(1, func() {
+		times = append(times, e.Now())
+		e.After(2, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	h := e.At(1, func() { fired = true })
+	if !e.Cancel(h) {
+		t.Error("first cancel reported failure")
+	}
+	if e.Cancel(h) {
+		t.Error("second cancel reported success")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfQueue(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(1, func() { got = append(got, 1) })
+	h := e.At(2, func() { got = append(got, 2) })
+	e.At(3, func() { got = append(got, 3) })
+	e.Cancel(h)
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("got %v, want [1 3]", got)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var e Engine
+	e.At(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on past event")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestNaNTimePanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on NaN time")
+		}
+	}()
+	e.At(math.NaN(), func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(1, func() { got = append(got, 1) })
+	e.At(5, func() { got = append(got, 5) })
+	e.RunUntil(3)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("got %v, want [1]", got)
+	}
+	if e.Now() != 3 {
+		t.Errorf("now = %g, want 3", e.Now())
+	}
+	e.Run()
+	if len(got) != 2 {
+		t.Errorf("remaining events not run: %v", got)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	var e Engine
+	n := 0
+	var loop func()
+	loop = func() { n++; e.After(1, loop) }
+	e.After(1, loop)
+	if done := e.RunLimit(100); done != 100 {
+		t.Errorf("RunLimit executed %d events, want 100", done)
+	}
+	if n != 100 {
+		t.Errorf("n = %d, want 100", n)
+	}
+}
+
+func TestNextTime(t *testing.T) {
+	var e Engine
+	if _, ok := e.NextTime(); ok {
+		t.Error("empty queue reported a next time")
+	}
+	e.At(7, func() {})
+	if tm, ok := e.NextTime(); !ok || tm != 7 {
+		t.Errorf("NextTime = %g/%v, want 7/true", tm, ok)
+	}
+}
+
+// TestHeapPropertyQuick: events always fire in nondecreasing time order
+// regardless of insertion order.
+func TestHeapPropertyQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var e Engine
+		var fired []float64
+		for _, r := range raw {
+			tt := float64(r)
+			e.At(tt, func() { fired = append(fired, tt) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

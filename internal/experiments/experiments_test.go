@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps integration runs fast: the point is exercising every
+// pipeline end to end, not statistical power.
+func tinyConfig() Config {
+	return Config{
+		Quick:           true,
+		Replicates:      4,
+		IntrepidMoments: 3,
+		MiraMoments:     2,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artifact must be present.
+	want := []string{
+		"fig1", "fig5", "fig6a", "fig6b", "fig6c", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "table1", "table2",
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(All()) < len(want)+4 {
+		t.Errorf("registry has %d entries, want at least %d (incl. ablations)",
+			len(All()), len(want)+4)
+	}
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Errorf("IDs not sorted: %s >= %s", ids[i-1], ids[i])
+		}
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep skipped in -short mode")
+	}
+	cfg := tinyConfig()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			doc, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if doc.ID != e.ID {
+				t.Errorf("document ID %q, want %q", doc.ID, e.ID)
+			}
+			if len(doc.Tables)+len(doc.Figures) == 0 {
+				t.Error("empty document")
+			}
+			var sb strings.Builder
+			if err := doc.Render(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if len(sb.String()) < 50 {
+				t.Errorf("suspiciously short rendering:\n%s", sb.String())
+			}
+		})
+	}
+}
+
+func TestTableShapesMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration check skipped in -short mode")
+	}
+	cfg := tinyConfig()
+	cfg.IntrepidMoments = 6
+	doc, err := registry["table1"].Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := doc.Tables[0]
+	byLabel := map[string][]float64{}
+	for _, r := range tbl.Rows {
+		byLabel[r.Label] = r.Cells
+	}
+	const dil, eff = 0, 1
+	// The qualitative orderings the paper reports (Table 1):
+	// MaxSysEff maximizes efficiency, MinDilation minimizes dilation,
+	// and both beat the production baseline on their own objective.
+	if byLabel["MaxSysEff"][eff] < byLabel["MinDilation"][eff] {
+		t.Errorf("MaxSysEff efficiency %.2f below MinDilation %.2f",
+			byLabel["MaxSysEff"][eff], byLabel["MinDilation"][eff])
+	}
+	if byLabel["MinDilation"][dil] > byLabel["MaxSysEff"][dil] {
+		t.Errorf("MinDilation dilation %.2f above MaxSysEff %.2f",
+			byLabel["MinDilation"][dil], byLabel["MaxSysEff"][dil])
+	}
+	if byLabel["MinDilation"][dil] > byLabel["Intrepid"][dil] {
+		t.Errorf("MinDilation dilation %.2f does not beat the baseline %.2f",
+			byLabel["MinDilation"][dil], byLabel["Intrepid"][dil])
+	}
+	if byLabel["MaxSysEff"][eff] < byLabel["Intrepid"][eff] {
+		t.Errorf("MaxSysEff efficiency %.2f does not beat the baseline %.2f",
+			byLabel["MaxSysEff"][eff], byLabel["Intrepid"][eff])
+	}
+	if byLabel["Upper-limit"][eff] < byLabel["MaxSysEff"][eff] {
+		t.Errorf("upper limit %.2f below MaxSysEff %.2f",
+			byLabel["Upper-limit"][eff], byLabel["MaxSysEff"][eff])
+	}
+	// MinMax rows interpolate between the extremes.
+	for _, g := range []string{"MinMax-0.25", "MinMax-0.5", "MinMax-0.75"} {
+		d := byLabel[g][dil]
+		if d < byLabel["MinDilation"][dil]-0.05 || d > byLabel["MaxSysEff"][dil]+0.05 {
+			t.Errorf("%s dilation %.2f outside [MinDilation, MaxSysEff] = [%.2f, %.2f]",
+				g, d, byLabel["MinDilation"][dil], byLabel["MaxSysEff"][dil])
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.replicates() != 200 {
+		t.Errorf("default replicates = %d, want 200 (paper)", c.replicates())
+	}
+	if c.intrepidMoments() != 56 || c.miraMoments() != 11 {
+		t.Errorf("default moments = %d/%d, want 56/11 (paper)",
+			c.intrepidMoments(), c.miraMoments())
+	}
+	c.Quick = true
+	if c.replicates() >= 200 || c.intrepidMoments() >= 56 {
+		t.Error("quick mode does not reduce sizes")
+	}
+	c.Replicates = 7
+	if c.replicates() != 7 {
+		t.Errorf("override ignored: %d", c.replicates())
+	}
+}

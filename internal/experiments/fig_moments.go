@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Priority heuristics vs the Intrepid scheduler per congested moment",
+		Paper: "Figure 8",
+		Run: momentsFigure("fig8", intrepidSet, 28,
+			[]string{"Priority-MaxSysEff", "Priority-MinDilation"}),
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Priority MinMax-γ family on Intrepid congested moments",
+		Paper: "Figure 9",
+		Run: momentsFigure("fig9", intrepidSet, 28,
+			[]string{"Priority-MaxSysEff", "Priority-MinMax-0.25", "Priority-MinMax-0.5",
+				"Priority-MinMax-0.75", "Priority-MinDilation"}),
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Non-Priority heuristics vs the Intrepid scheduler per congested moment",
+		Paper: "Figure 10",
+		Run: momentsFigure("fig10", intrepidSet, 28,
+			[]string{"MaxSysEff", "MinDilation"}),
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Priority heuristics vs the Mira scheduler per congested moment",
+		Paper: "Figure 11",
+		Run: momentsFigure("fig11", miraSet, 11,
+			[]string{"Priority-MaxSysEff", "Priority-MinDilation"}),
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Priority MinMax-γ family on Mira congested moments",
+		Paper: "Figure 12",
+		Run: momentsFigure("fig12", miraSet, 11,
+			[]string{"Priority-MaxSysEff", "Priority-MinMax-0.25", "Priority-MinMax-0.5",
+				"Priority-MinMax-0.75", "Priority-MinDilation"}),
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Non-Priority heuristics vs the Mira scheduler per congested moment",
+		Paper: "Figure 13",
+		Run: momentsFigure("fig13", miraSet, 11,
+			[]string{"MaxSysEff", "MinDilation"}),
+	})
+	register(Experiment{
+		ID:    "table1",
+		Title: "Averages over the Intrepid congested moments",
+		Paper: "Table 1",
+		Run:   momentsTable("table1", "Intrepid", intrepidSet),
+	})
+	register(Experiment{
+		ID:    "table2",
+		Title: "Averages over the Mira congested moments",
+		Paper: "Table 2",
+		Run:   momentsTable("table2", "Mira", miraSet),
+	})
+}
+
+// momentsFigure builds a per-moment comparison figure (two panels:
+// Dilation, SysEfficiency) for the named schedulers plus the production
+// baseline and the upper limit.
+func momentsFigure(id string, set func(Config) []workload.Moment, firstN int, schedNames []string) Runner {
+	return func(cfg Config) (*Document, error) {
+		moments := set(cfg)
+		if len(moments) > firstN {
+			moments = moments[:firstN]
+		}
+		outcomes, err := runMoments(moments, momentSchedulers(), cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+
+		dil := &report.Figure{
+			Title:  "Dilation per congested moment (lower is better)",
+			XLabel: "moment",
+			YLabel: "Dilation",
+		}
+		eff := &report.Figure{
+			Title:  "SysEfficiency per congested moment (higher is better)",
+			XLabel: "moment",
+			YLabel: "SysEfficiency",
+		}
+		addSeries := func(name string, pick func(momentOutcome) (float64, float64)) {
+			ds := report.Series{Name: name}
+			es := report.Series{Name: name}
+			for i, o := range outcomes {
+				d, e := pick(o)
+				x := float64(i + 1)
+				ds.X, ds.Y = append(ds.X, x), append(ds.Y, d)
+				es.X, es.Y = append(es.X, x), append(es.Y, e)
+			}
+			dil.Series = append(dil.Series, ds)
+			eff.Series = append(eff.Series, es)
+		}
+		for _, name := range schedNames {
+			name := name
+			addSeries(name, func(o momentOutcome) (float64, float64) {
+				s := o.PerSched[name]
+				return s.Dilation, s.SysEfficiency
+			})
+		}
+		baselineLabel := moments[0].Platform.Name
+		addSeries(baselineLabel, func(o momentOutcome) (float64, float64) {
+			return o.Baseline.Dilation, o.Baseline.SysEfficiency
+		})
+		addSeries("Upper-limit", func(o momentOutcome) (float64, float64) {
+			return 1, o.Upper
+		})
+		dil.Notes = []string{
+			"heuristics run without burst buffers; the baseline uses them",
+			fmt.Sprintf("%d congested moments", len(outcomes)),
+		}
+		return &Document{
+			ID:      id,
+			Title:   fmt.Sprintf("Per-moment comparison on %s", baselineLabel),
+			Figures: []*report.Figure{dil, eff},
+		}, nil
+	}
+}
+
+// momentsTable builds a Table 1/Table 2 style report: mean Dilation and
+// SysEfficiency per scheduler over the full congested-moment set.
+func momentsTable(id, machine string, set func(Config) []workload.Moment) Runner {
+	return func(cfg Config) (*Document, error) {
+		moments := set(cfg)
+		outcomes, err := runMoments(moments, momentSchedulers(), cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		tbl := &report.Table{
+			Title:   fmt.Sprintf("Averages over %d congested moments on %s", len(outcomes), machine),
+			Columns: []string{"Dilation", "SysEfficiency"},
+			Notes: []string{
+				"Dilation is minimized, SysEfficiency maximized",
+				"heuristic rows run without burst buffers; the machine row uses them",
+			},
+		}
+		order := []string{
+			"MaxSysEff", "Priority-MaxSysEff",
+			"MinMax-0.25", "Priority-MinMax-0.25",
+			"MinMax-0.5", "Priority-MinMax-0.5",
+			"MinMax-0.75", "Priority-MinMax-0.75",
+			"MinDilation", "Priority-MinDilation",
+		}
+		for _, name := range order {
+			mean := meanOver(outcomes, name)
+			tbl.AddRow(name, mean.Dilation, mean.SysEfficiency)
+		}
+		base := meanBaseline(outcomes)
+		tbl.AddRow(machine, base.Dilation, base.SysEfficiency)
+		var upper float64
+		for _, o := range outcomes {
+			upper += o.Upper
+		}
+		upper /= float64(len(outcomes))
+		tbl.AddRow("Upper-limit", math.NaN(), upper)
+		return &Document{
+			ID:     id,
+			Title:  fmt.Sprintf("%s congested-moment averages", machine),
+			Tables: []*report.Table{tbl},
+		}, nil
+	}
+}

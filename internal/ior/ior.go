@@ -1,0 +1,147 @@
+// Package ior defines the paper's Section 5 IOR benchmark scenarios on
+// Vesta and drives them through the cluster emulator. A scenario is named
+// by the node counts of its process groups ("512/256/256/32"); the paper
+// evaluates eleven of them with and without burst buffers under the
+// original benchmark, MaxSysEff and MinDilation.
+package ior
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// Scenario is one application mix, named by node counts.
+type Scenario struct {
+	Name  string
+	Nodes []int
+}
+
+// ParseScenario parses "a/b/c" node-count notation.
+func ParseScenario(s string) (Scenario, error) {
+	parts := strings.Split(s, "/")
+	sc := Scenario{Name: s}
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return Scenario{}, fmt.Errorf("ior: bad scenario %q", s)
+		}
+		sc.Nodes = append(sc.Nodes, n)
+	}
+	return sc, nil
+}
+
+// PaperScenarios returns the eleven scenarios of Figures 14 and 15, in
+// paper order.
+func PaperScenarios() []Scenario {
+	names := []string{
+		"256", "512", "32/512", "256/256", "256/512",
+		"256/256/256", "256/256/512", "512/256/32",
+		"512/256/256/32", "256/256/256/256", "512/512/512/512",
+	}
+	out := make([]Scenario, len(names))
+	for i, n := range names {
+		sc, err := ParseScenario(n)
+		if err != nil {
+			panic(err) // the list above is static and valid
+		}
+		out[i] = sc
+	}
+	return out
+}
+
+// Params are the benchmark parameters shared by all groups.
+type Params struct {
+	Iterations int
+	Work       float64 // seconds of compute per iteration
+	BlockGiB   float64 // per-rank write size per iteration
+}
+
+// DefaultParams returns parameters calibrated so that a single 256-node
+// group is I/O-bound roughly like the paper's IOR runs (system efficiency
+// in the 30-60% band of Figure 15): 2 s of compute against ~3.2 s of
+// dedicated-mode I/O per iteration.
+func DefaultParams() Params {
+	return Params{Iterations: 20, Work: 2, BlockGiB: 0.1}
+}
+
+// QuickParams returns a reduced-iteration variant for tests.
+func QuickParams() Params {
+	p := DefaultParams()
+	p.Iterations = 5
+	return p
+}
+
+// Apps expands a scenario into emulator application configs.
+func (s Scenario) Apps(p Params) []cluster.AppConfig {
+	apps := make([]cluster.AppConfig, len(s.Nodes))
+	for i, n := range s.Nodes {
+		apps[i] = cluster.AppConfig{
+			ID:         i,
+			Name:       fmt.Sprintf("ior-%d-%dn", i, n),
+			Ranks:      n,
+			Iterations: p.Iterations,
+			Work:       p.Work,
+			BlockGiB:   p.BlockGiB,
+		}
+	}
+	return apps
+}
+
+// Variant names a benchmark configuration of Figure 15.
+type Variant struct {
+	// Label as in the paper's legend ("MaxSysEff", "BBIOR", ...).
+	Label string
+	Mode  cluster.Mode
+	// Policy for Scheduled mode.
+	Policy core.Scheduler
+	UseBB  bool
+}
+
+// PaperVariants returns the six Figure 15 configurations: the two
+// heuristics (Priority variants, since Vesta has spinning disks) and
+// unmodified IOR, each with and without burst buffers.
+func PaperVariants() []Variant {
+	return []Variant{
+		{Label: "MaxSysEff", Mode: cluster.Scheduled, Policy: core.MaxSysEff().WithPriority()},
+		{Label: "MinDilation", Mode: cluster.Scheduled, Policy: core.MinDilation().WithPriority()},
+		{Label: "IOR", Mode: cluster.OriginalIOR},
+		{Label: "BBMaxSysEff", Mode: cluster.Scheduled, Policy: core.MaxSysEff().WithPriority(), UseBB: true},
+		{Label: "BBMinDilation", Mode: cluster.Scheduled, Policy: core.MinDilation().WithPriority(), UseBB: true},
+		{Label: "BBIOR", Mode: cluster.OriginalIOR, UseBB: true},
+	}
+}
+
+// Run executes one scenario under one variant on Vesta.
+func Run(sc Scenario, v Variant, p Params, seed int64) (*cluster.Result, error) {
+	return cluster.Run(cluster.Config{
+		Platform: platform.Vesta(),
+		Mode:     v.Mode,
+		Policy:   v.Policy,
+		UseBB:    v.UseBB,
+		Apps:     sc.Apps(p),
+		Seed:     seed,
+	})
+}
+
+// Overhead measures the Figure 14 quantity for a scenario: the relative
+// makespan increase of the modified benchmark (scheduler thread answering
+// every request) over the original, in percent.
+func Overhead(sc Scenario, useBB bool, p Params, seed int64) (float64, error) {
+	orig, err := Run(sc, Variant{Label: "IOR", Mode: cluster.OriginalIOR, UseBB: useBB}, p, seed)
+	if err != nil {
+		return 0, err
+	}
+	mod, err := Run(sc, Variant{Label: "always-grant", Mode: cluster.AlwaysGrant, UseBB: useBB}, p, seed)
+	if err != nil {
+		return 0, err
+	}
+	if orig.Makespan <= 0 {
+		return 0, fmt.Errorf("ior: zero makespan in scenario %s", sc.Name)
+	}
+	return 100 * (mod.Makespan - orig.Makespan) / orig.Makespan, nil
+}

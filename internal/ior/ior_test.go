@@ -1,0 +1,105 @@
+package ior
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestParseScenario(t *testing.T) {
+	sc, err := ParseScenario("512/256/32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "512/256/32" || len(sc.Nodes) != 3 ||
+		sc.Nodes[0] != 512 || sc.Nodes[2] != 32 {
+		t.Errorf("parsed %+v", sc)
+	}
+	for _, bad := range []string{"", "a/b", "0", "-5", "512/", "512//32"} {
+		if _, err := ParseScenario(bad); err == nil {
+			t.Errorf("ParseScenario(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPaperScenarios(t *testing.T) {
+	scs := PaperScenarios()
+	if len(scs) != 11 {
+		t.Fatalf("got %d scenarios, want 11", len(scs))
+	}
+	if scs[0].Name != "256" || scs[10].Name != "512/512/512/512" {
+		t.Errorf("scenario order wrong: first %s last %s", scs[0].Name, scs[10].Name)
+	}
+	for _, sc := range scs {
+		total := 0
+		for _, n := range sc.Nodes {
+			total += n
+		}
+		if total > 2048 {
+			t.Errorf("scenario %s needs %d nodes > Vesta's 2048", sc.Name, total)
+		}
+	}
+}
+
+func TestAppsExpansion(t *testing.T) {
+	sc, _ := ParseScenario("256/32")
+	apps := sc.Apps(Params{Iterations: 7, Work: 3, BlockGiB: 0.25})
+	if len(apps) != 2 {
+		t.Fatalf("got %d apps", len(apps))
+	}
+	if apps[0].Ranks != 256 || apps[1].Ranks != 32 {
+		t.Errorf("ranks = %d/%d", apps[0].Ranks, apps[1].Ranks)
+	}
+	if apps[0].Iterations != 7 || apps[0].Work != 3 {
+		t.Errorf("params not propagated: %+v", apps[0])
+	}
+	if got := apps[0].Volume(); got != 64 {
+		t.Errorf("volume = %g, want 64", got)
+	}
+}
+
+func TestPaperVariants(t *testing.T) {
+	vs := PaperVariants()
+	if len(vs) != 6 {
+		t.Fatalf("got %d variants, want 6", len(vs))
+	}
+	bb := 0
+	for _, v := range vs {
+		if v.Mode == cluster.Scheduled && v.Policy == nil {
+			t.Errorf("variant %s scheduled without policy", v.Label)
+		}
+		if v.UseBB {
+			bb++
+		}
+	}
+	if bb != 3 {
+		t.Errorf("%d burst-buffer variants, want 3", bb)
+	}
+}
+
+func TestOverheadPositiveAndSmall(t *testing.T) {
+	sc, _ := ParseScenario("256/256")
+	ov, err := Overhead(sc, false, QuickParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov <= 0 || ov > 10 {
+		t.Errorf("overhead = %.2f%%, want small positive", ov)
+	}
+}
+
+func TestRunVariants(t *testing.T) {
+	sc, _ := ParseScenario("256/256")
+	for _, v := range PaperVariants() {
+		res, err := Run(sc, v, QuickParams(), 1)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Label, err)
+		}
+		if res.Summary.Dilation < 1 {
+			t.Errorf("%s: dilation %g < 1", v.Label, res.Summary.Dilation)
+		}
+		if res.Summary.SysEfficiency <= 0 || res.Summary.SysEfficiency > 100 {
+			t.Errorf("%s: efficiency %g out of range", v.Label, res.Summary.SysEfficiency)
+		}
+	}
+}

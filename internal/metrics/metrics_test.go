@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func perf(nodes int, release, finish, work, ideal float64) AppPerf {
+	return AppPerf{Nodes: nodes, Release: release, Finish: finish,
+		Work: work, IdealTime: ideal}
+}
+
+func TestAppPerfBasics(t *testing.T) {
+	a := perf(10, 0, 200, 100, 150)
+	if got := a.AchievedEff(); got != 0.5 {
+		t.Errorf("achieved = %g, want 0.5", got)
+	}
+	if got, want := a.OptimalEff(), 100.0/150; math.Abs(got-want) > 1e-12 {
+		t.Errorf("optimal = %g, want %g", got, want)
+	}
+	if got, want := a.Dilation(), (100.0/150)/0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("dilation = %g, want %g", got, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	apps := []AppPerf{
+		perf(50, 0, 100, 80, 100),  // achieved 0.8, optimal 0.8 -> dilation 1
+		perf(25, 0, 200, 100, 150), // achieved 0.5, optimal 2/3 -> dilation 4/3
+	}
+	s := Summarize(apps, 100)
+	wantEff := 100 * (50*0.8 + 25*0.5) / 100
+	if math.Abs(s.SysEfficiency-wantEff) > 1e-9 {
+		t.Errorf("sys efficiency = %g, want %g", s.SysEfficiency, wantEff)
+	}
+	wantUpper := 100 * (50*0.8 + 25*(100.0/150)) / 100
+	if math.Abs(s.UpperLimit-wantUpper) > 1e-9 {
+		t.Errorf("upper limit = %g, want %g", s.UpperLimit, wantUpper)
+	}
+	if math.Abs(s.Dilation-4.0/3) > 1e-9 {
+		t.Errorf("dilation = %g, want 4/3", s.Dilation)
+	}
+	if s.Makespan != 200 {
+		t.Errorf("makespan = %g, want 200", s.Makespan)
+	}
+}
+
+func TestSummarizePanicsOnBadNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for totalNodes = 0")
+		}
+	}()
+	Summarize(nil, 0)
+}
+
+func TestPerAppDilations(t *testing.T) {
+	apps := []AppPerf{
+		{ID: 2, Nodes: 1, Finish: 200, Work: 100, IdealTime: 100},
+		{ID: 1, Nodes: 1, Finish: 100, Work: 100, IdealTime: 100},
+	}
+	d := PerAppDilations(apps)
+	if len(d) != 2 || math.Abs(d[0]-1) > 1e-9 || math.Abs(d[1]-2) > 1e-9 {
+		t.Errorf("dilations = %v, want [1 2] (sorted by ID)", d)
+	}
+}
+
+func TestThroughputDecrease(t *testing.T) {
+	apps := []AppPerf{
+		// Ideal I/O time 50 s for 100 GiB (2 GiB/s); actual 100 s
+		// (1 GiB/s) -> 50% decrease.
+		{Nodes: 1, Finish: 1, Work: 100, IdealTime: 150, IOTime: 100, Volume: 100},
+		// No volume: skipped.
+		{Nodes: 1, Finish: 1, Work: 100, IdealTime: 100, IOTime: 0, Volume: 0},
+	}
+	d := ThroughputDecrease(apps)
+	if len(d) != 1 {
+		t.Fatalf("got %d entries, want 1", len(d))
+	}
+	if math.Abs(d[0]-50) > 1e-9 {
+		t.Errorf("decrease = %g%%, want 50%%", d[0])
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	s := Sample{1, 2, 3, 4, 5}
+	if s.Mean() != 3 {
+		t.Errorf("mean = %g", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	if got, want := s.Std(), math.Sqrt(2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("std = %g, want %g", got, want)
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Errorf("p50 = %g, want 3", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %g, want 1", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("p100 = %g, want 5", got)
+	}
+	if got := s.Percentile(25); got != 2 {
+		t.Errorf("p25 = %g, want 2", got)
+	}
+}
+
+func TestEmptySampleIsNaN(t *testing.T) {
+	var s Sample
+	for name, v := range map[string]float64{
+		"mean": s.Mean(), "std": s.Std(), "min": s.Min(),
+		"max": s.Max(), "p50": s.Percentile(50),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s of empty sample = %g, want NaN", name, v)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	s := Sample{0, 5, 15, 25, 95, 200, -3}
+	counts := s.Histogram(0, 10, 10)
+	if counts[0] != 3 { // 0, 5, -3 (clamped)
+		t.Errorf("bin 0 = %d, want 3", counts[0])
+	}
+	if counts[1] != 1 || counts[2] != 1 {
+		t.Errorf("bins 1,2 = %d,%d, want 1,1", counts[1], counts[2])
+	}
+	if counts[9] != 2 { // 95 and 200 (clamped)
+		t.Errorf("bin 9 = %d, want 2", counts[9])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(s) {
+		t.Errorf("histogram total %d != sample size %d", total, len(s))
+	}
+}
+
+func TestMeanSummary(t *testing.T) {
+	runs := []Summary{
+		{SysEfficiency: 50, UpperLimit: 90, Dilation: 2, Makespan: 100},
+		{SysEfficiency: 70, UpperLimit: 80, Dilation: 4, Makespan: 300},
+	}
+	m := MeanSummary(runs)
+	if m.SysEfficiency != 60 || m.UpperLimit != 85 || m.Dilation != 3 || m.Makespan != 200 {
+		t.Errorf("mean summary = %+v", m)
+	}
+	var zero Summary
+	if got := MeanSummary(nil); got != zero {
+		t.Errorf("mean of no runs = %+v, want zero", got)
+	}
+}
+
+// Properties: percentile is monotone in p and bounded by min/max.
+func TestPercentileQuick(t *testing.T) {
+	f := func(raw []int16, pa, pb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := make(Sample, len(raw))
+		for i, r := range raw {
+			s[i] = float64(r)
+		}
+		p1, p2 := float64(pa%101), float64(pb%101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := s.Percentile(p1), s.Percentile(p2)
+		return v1 <= v2 && v1 >= s.Min() && v2 <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package parallel
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	const n = 100
+	var count atomic.Int64
+	seen := make([]atomic.Bool, n)
+	err := ForEach(n, 4, func(i int) error {
+		count.Add(1)
+		if seen[i].Swap(true) {
+			t.Errorf("index %d run twice", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != n {
+		t.Errorf("ran %d, want %d", count.Load(), n)
+	}
+}
+
+func TestForEachReportsFirstErrorByIndex(t *testing.T) {
+	e7 := errors.New("seven")
+	e3 := errors.New("three")
+	err := ForEach(10, 8, func(i int) error {
+		switch i {
+		case 7:
+			return e7
+		case 3:
+			return e3
+		}
+		return nil
+	})
+	if !errors.Is(err, e3) {
+		t.Errorf("err = %v, want error of index 3", err)
+	}
+}
+
+func TestForEachRecoversPanics(t *testing.T) {
+	err := ForEach(4, 2, func(i int) error {
+		if i == 2 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("err = %v, want panic report", err)
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Error("called"); return nil }); err != nil {
+		t.Error(err)
+	}
+	ran := false
+	if err := ForEach(1, -1, func(int) error { ran = true; return nil }); err != nil {
+		t.Error(err)
+	}
+	if !ran {
+		t.Error("default worker count did not run the task")
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	out, err := Map(50, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map(10, 4, func(i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}

@@ -1,0 +1,317 @@
+package periodic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+func testPlatform() *platform.Platform {
+	return &platform.Platform{Name: "test", Nodes: 100, NodeBW: 1, TotalBW: 10}
+}
+
+func TestProfileAddAndQuery(t *testing.T) {
+	p := NewProfile(10)
+	p.Add(2, 5, 3)
+	p.Add(4, 8, 2)
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 0}, {1.9, 0}, {2, 3}, {3.9, 3}, {4, 5}, {4.9, 5}, {5, 2}, {7.9, 2}, {8, 0}, {9.9, 0},
+	}
+	for _, c := range cases {
+		if got := p.UsageAt(c.t); got != c.want {
+			t.Errorf("UsageAt(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if got := p.MaxUsage(0, 10); got != 5 {
+		t.Errorf("MaxUsage(0,10) = %g, want 5", got)
+	}
+	if got := p.MaxUsage(0, 2); got != 0 {
+		t.Errorf("MaxUsage(0,2) = %g, want 0", got)
+	}
+	if got := p.MaxUsage(5, 8); got != 2 {
+		t.Errorf("MaxUsage(5,8) = %g, want 2", got)
+	}
+	if got := p.MaxOverall(); got != 5 {
+		t.Errorf("MaxOverall = %g, want 5", got)
+	}
+}
+
+func TestProfileNextBreak(t *testing.T) {
+	p := NewProfile(10)
+	p.Add(2, 5, 1)
+	if got := p.NextBreak(0); got != 2 {
+		t.Errorf("NextBreak(0) = %g, want 2", got)
+	}
+	if got := p.NextBreak(2); got != 5 {
+		t.Errorf("NextBreak(2) = %g, want 5", got)
+	}
+	if got := p.NextBreak(5); got != 10 {
+		t.Errorf("NextBreak(5) = %g, want 10 (period end)", got)
+	}
+}
+
+func TestProfileRandomizedConsistency(t *testing.T) {
+	// Compare Profile against a brute-force fine-grained array.
+	rng := rand.New(rand.NewSource(42))
+	const T = 100
+	const res = 1000
+	for trial := 0; trial < 50; trial++ {
+		p := NewProfile(T)
+		brute := make([]float64, res)
+		for i := 0; i < 20; i++ {
+			t0 := rng.Float64() * T
+			t1 := t0 + rng.Float64()*(T-t0)
+			bw := rng.Float64() * 5
+			p.Add(t0, t1, bw)
+			for j := 0; j < res; j++ {
+				tt := float64(j) * T / res
+				if tt >= t0 && tt < t1 {
+					brute[j] += bw
+				}
+			}
+		}
+		for j := 0; j < res; j++ {
+			tt := float64(j) * T / res
+			if got, want := p.UsageAt(tt), brute[j]; math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: UsageAt(%g) = %g, want %g", trial, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestBuildSingleApp(t *testing.T) {
+	p := testPlatform()
+	// w=10, vol=20 on 20 nodes: card bw 20 but B=10 -> time_io = 2.
+	app := platform.NewPeriodic(0, 20, 10, 20, 1)
+	T := 36.0 // fits 3 instances of length 12
+	s, err := BuildThrou(p, []*platform.App{app}, T, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Apps[0].NPer(); got != 3 {
+		t.Errorf("n_per = %d, want 3", got)
+	}
+	// rho = 10/12; eff = 3*10/36 = 10/12 -> dilation 1.
+	if d := s.Dilation(); math.Abs(d-1) > 1e-9 {
+		t.Errorf("dilation = %g, want 1", d)
+	}
+}
+
+func TestBuildTwoAppsShareBandwidth(t *testing.T) {
+	p := testPlatform()
+	apps := []*platform.App{
+		platform.NewPeriodic(0, 20, 10, 20, 1),
+		platform.NewPeriodic(1, 20, 10, 20, 1),
+	}
+	s, err := BuildCong(p, apps, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range apps {
+		if s.Apps[i].NPer() < 1 {
+			t.Errorf("app %d got no instance", i)
+		}
+	}
+	if d := s.Dilation(); d < 1 {
+		t.Errorf("dilation = %g < 1", d)
+	}
+}
+
+func TestBuildRespectsConstraintsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		p := testPlatform()
+		n := 2 + rng.Intn(4)
+		var apps []*platform.App
+		for i := 0; i < n; i++ {
+			nodes := 5 + rng.Intn(20)
+			w := 5 + rng.Float64()*20
+			vol := 1 + rng.Float64()*30
+			apps = append(apps, platform.NewPeriodic(i, nodes, w, vol, 1))
+		}
+		T := 50 + rng.Float64()*100
+		for _, build := range []func() (*Schedule, error){
+			func() (*Schedule, error) { return BuildThrou(p, apps, T, false) },
+			func() (*Schedule, error) { return BuildThrou(p, apps, T, true) },
+			func() (*Schedule, error) { return BuildCong(p, apps, T) },
+		} {
+			s, err := build()
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("trial %d: invalid schedule: %v\n%s", trial, err, s)
+			}
+		}
+	}
+}
+
+func TestSearchPeriodImprovesOnSmallest(t *testing.T) {
+	p := testPlatform()
+	apps := []*platform.App{
+		platform.NewPeriodic(0, 20, 10, 20, 1),
+		platform.NewPeriodic(1, 30, 15, 15, 1),
+		platform.NewPeriodic(2, 10, 30, 25, 1),
+	}
+	res, err := SearchPeriod(p, apps, HeuristicCong, 400, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tried < 2 {
+		t.Errorf("period search tried %d periods, want several", res.Tried)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.BestDilation, 1) {
+		t.Error("no feasible schedule found by Cong search")
+	}
+	res2, err := SearchPeriod(p, apps, HeuristicThrou, 400, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.BestSysEff <= 0 {
+		t.Errorf("Throu search best efficiency = %g", res2.BestSysEff)
+	}
+}
+
+func TestSearchPeriodErrors(t *testing.T) {
+	p := testPlatform()
+	apps := []*platform.App{platform.NewPeriodic(0, 20, 10, 20, 1)}
+	if _, err := SearchPeriod(p, apps, HeuristicCong, 400, 0); err == nil {
+		t.Error("eps = 0 accepted")
+	}
+	if _, err := SearchPeriod(p, apps, "nope", 400, 0.1); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+	if _, err := SearchPeriod(p, apps, HeuristicCong, 1, 0.1); err == nil {
+		t.Error("Tmax below minimum period accepted")
+	}
+	if _, err := SearchPeriod(p, nil, HeuristicCong, 100, 0.1); err == nil {
+		t.Error("empty app list accepted")
+	}
+}
+
+func TestThreePartitionReduction(t *testing.T) {
+	tp := ThreePartition{B: 10, A: []int{5, 3, 2, 4, 4, 2, 6, 3, 1}}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	triplets := [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}}
+	if err := tp.VerifyPartition(1, triplets); err != nil {
+		t.Fatal(err)
+	}
+	eff, dil := tp.PartitionObjectives()
+	if want := PartitionEfficiency(3); eff != want {
+		t.Errorf("efficiency = %g, want %g", eff, want)
+	}
+	if dil != 1 {
+		t.Errorf("dilation = %g, want 1", dil)
+	}
+
+	p, apps := tp.Reduce(1)
+	if p.TotalBW != 10 {
+		t.Errorf("reduced B = %g, want 10", p.TotalBW)
+	}
+	for k, a := range apps {
+		if got := a.IOTime(p, 0); math.Abs(got-1) > 1e-9 {
+			t.Errorf("app %d time_io = %g, want 1", k, got)
+		}
+	}
+}
+
+func TestThreePartitionRejectsBadSolutions(t *testing.T) {
+	tp := ThreePartition{B: 10, A: []int{5, 3, 2, 4, 4, 2, 6, 3, 1}}
+	bad := [][][]int{
+		{{0, 1, 2}, {3, 4, 5}},                 // wrong count
+		{{0, 1, 2}, {3, 4, 5}, {6, 7, 7}},      // duplicate
+		{{0, 1, 3}, {2, 4, 5}, {6, 7, 8}},      // wrong sums
+		{{0, 1, 2}, {3, 4, 5}, {6, 7, 80}},     // out of range
+		{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, {0}}, // too many
+	}
+	for i, trip := range bad {
+		if err := tp.VerifyPartition(1, trip); err == nil {
+			t.Errorf("bad solution %d accepted", i)
+		}
+	}
+}
+
+// TestThreePartitionQuick builds random solvable instances from known
+// partitions and checks the reduction accepts exactly the planted solution
+// structure.
+func TestThreePartitionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		B := 30 + rng.Intn(50)
+		var a []int
+		var triplets [][]int
+		for i := 0; i < n; i++ {
+			// Split B into three positive parts.
+			x := 1 + rng.Intn(B-2)
+			y := 1 + rng.Intn(B-x-1)
+			z := B - x - y
+			base := len(a)
+			a = append(a, x, y, z)
+			triplets = append(triplets, []int{base, base + 1, base + 2})
+		}
+		tp := ThreePartition{B: B, A: a}
+		if err := tp.Validate(); err != nil {
+			return false
+		}
+		return tp.VerifyPartition(1, triplets) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	p := testPlatform()
+	app := platform.NewPeriodic(0, 20, 10, 20, 1)
+	s := &Schedule{
+		Platform: p,
+		T:        30,
+		Apps: []*AppSchedule{{
+			App: app,
+			Slots: []Slot{{
+				WorkStart: 0, WorkEnd: 10,
+				IOStart: 10, IOEnd: 11, BW: 20, // exceeds β·b? 20 nodes * 1 = 20 ok, but vol=20 needs 20*1 = 20 GiB: ok. B=10 exceeded.
+			}},
+		}},
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("schedule exceeding B accepted")
+	}
+}
+
+func TestValidateCatchesVolumeMismatch(t *testing.T) {
+	p := testPlatform()
+	app := platform.NewPeriodic(0, 5, 10, 20, 1)
+	s := &Schedule{
+		Platform: p,
+		T:        30,
+		Apps: []*AppSchedule{{
+			App: app,
+			Slots: []Slot{{
+				WorkStart: 0, WorkEnd: 10,
+				IOStart: 10, IOEnd: 12, BW: 5, // transfers 10 GiB, needs 20
+			}},
+		}},
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("schedule with wrong volume accepted")
+	}
+}

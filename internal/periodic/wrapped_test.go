@@ -1,0 +1,202 @@
+package periodic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+func TestSpanLengthAndNormalize(t *testing.T) {
+	const T = 10.0
+	cases := []struct {
+		span   Span
+		length float64
+		pieces int
+	}{
+		{Span{2, 5}, 3, 1},
+		{Span{0, 10}, 10, 1},
+		{Span{8, 3}, 5, 2}, // wraps: [8,10) ∪ [0,3)
+		{Span{9.5, 0.5}, 1, 2},
+	}
+	for _, c := range cases {
+		if got := c.span.Length(T); math.Abs(got-c.length) > 1e-12 {
+			t.Errorf("Length(%+v) = %g, want %g", c.span, got, c.length)
+		}
+		if got := len(c.span.normalize(T)); got != c.pieces {
+			t.Errorf("normalize(%+v) has %d pieces, want %d", c.span, got, c.pieces)
+		}
+	}
+}
+
+func TestWrapConvertsRestrictedSchedules(t *testing.T) {
+	p := testPlatform()
+	apps := []*platform.App{
+		platform.NewPeriodic(0, 20, 10, 20, 1),
+		platform.NewPeriodic(1, 30, 15, 15, 1),
+	}
+	s, err := BuildCong(p, apps, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := Wrap(s)
+	if err := w.Validate(); err != nil {
+		t.Fatalf("wrapped form of a valid schedule invalid: %v", err)
+	}
+	if math.Abs(w.SysEfficiency()-s.SysEfficiency()) > 1e-9 {
+		t.Errorf("efficiency changed by wrapping: %g vs %g", w.SysEfficiency(), s.SysEfficiency())
+	}
+	if math.Abs(w.Dilation()-s.Dilation()) > 1e-9 {
+		t.Errorf("dilation changed by wrapping: %g vs %g", w.Dilation(), s.Dilation())
+	}
+}
+
+func TestWrappedValidateCatchesOverlaps(t *testing.T) {
+	p := testPlatform()
+	app := platform.NewPeriodic(0, 20, 6, 20, 1)
+	// Work [0,6) and I/O [4,6) overlap within the same application.
+	s := &WrappedSchedule{
+		Platform: p, T: 10,
+		Apps: []*WrappedAppSchedule{{
+			App: app,
+			Slots: []WrappedSlot{{
+				Work: Span{0, 6},
+				IO:   []IOInterval{{Span: Span{4, 6}, BW: 10}},
+			}},
+		}},
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("self-overlapping activity accepted")
+	}
+}
+
+func TestWrappedValidateCatchesGlobalOverflow(t *testing.T) {
+	p := testPlatform() // B = 10
+	a0 := platform.NewPeriodic(0, 20, 6, 24, 1)
+	a1 := platform.NewPeriodic(1, 20, 6, 24, 1)
+	mk := func(app *platform.App) *WrappedAppSchedule {
+		return &WrappedAppSchedule{
+			App: app,
+			Slots: []WrappedSlot{{
+				Work: Span{0, 6},
+				IO:   []IOInterval{{Span: Span{6, 10}, BW: 6}}, // 2 × 6 > B
+			}},
+		}
+	}
+	s := &WrappedSchedule{Platform: p, T: 10, Apps: []*WrappedAppSchedule{mk(a0), mk(a1)}}
+	if err := s.Validate(); err == nil {
+		t.Error("aggregate bandwidth overflow accepted")
+	}
+}
+
+func TestWrappedValidateAcceptsSplitIO(t *testing.T) {
+	p := testPlatform()
+	app := platform.NewPeriodic(0, 20, 4, 20, 1)
+	// I/O split into two constant-bandwidth pieces, as the formal model
+	// allows: 2 s at 6 GiB/s + 2 s at 4 GiB/s = 20 GiB.
+	s := &WrappedSchedule{
+		Platform: p, T: 10,
+		Apps: []*WrappedAppSchedule{{
+			App: app,
+			Slots: []WrappedSlot{{
+				Work: Span{0, 4},
+				IO: []IOInterval{
+					{Span: Span{4, 6}, BW: 6},
+					{Span: Span{8, 10}, BW: 4},
+				},
+			}},
+		}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid split-I/O schedule rejected: %v", err)
+	}
+}
+
+func TestWrappedValidateCatchesVolumeShortfall(t *testing.T) {
+	p := testPlatform()
+	app := platform.NewPeriodic(0, 20, 4, 20, 1)
+	s := &WrappedSchedule{
+		Platform: p, T: 10,
+		Apps: []*WrappedAppSchedule{{
+			App: app,
+			Slots: []WrappedSlot{{
+				Work: Span{0, 4},
+				IO:   []IOInterval{{Span: Span{4, 6}, BW: 6}}, // only 12 of 20 GiB
+			}},
+		}},
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("volume shortfall accepted")
+	}
+}
+
+func TestThreePartitionScheduleConstruction(t *testing.T) {
+	tp := ThreePartition{B: 10, A: []int{5, 3, 2, 4, 4, 2, 6, 3, 1}}
+	triplets := [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}}
+	s, err := tp.ScheduleFromPartition(1, triplets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 1's constructive direction: dilation exactly 1 and
+	// SysEfficiency (n−1)/n.
+	if d := s.Dilation(); math.Abs(d-1) > 1e-9 {
+		t.Errorf("dilation = %g, want 1", d)
+	}
+	n := len(tp.A) / 3
+	if eff := s.SysEfficiency(); math.Abs(eff-PartitionEfficiency(n)) > 1e-9 {
+		t.Errorf("efficiency = %g, want %g", eff, PartitionEfficiency(n))
+	}
+	// Wrapping really occurs: some compute span must wrap the boundary.
+	wrapped := false
+	for _, as := range s.Apps {
+		for _, sl := range as.Slots {
+			if sl.Work.Start > sl.Work.End {
+				wrapped = true
+			}
+		}
+	}
+	if !wrapped {
+		t.Error("construction produced no wrapping span; the restricted model would have sufficed")
+	}
+}
+
+func TestThreePartitionScheduleRejectsBadSolution(t *testing.T) {
+	tp := ThreePartition{B: 10, A: []int{5, 3, 2, 4, 4, 2, 6, 3, 1}}
+	if _, err := tp.ScheduleFromPartition(1, [][]int{{0, 1, 3}, {2, 4, 5}, {6, 7, 8}}); err == nil {
+		t.Error("wrong-sum triplets accepted")
+	}
+}
+
+// TestThreePartitionScheduleQuick: the construction validates for random
+// planted instances.
+func TestThreePartitionScheduleQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		B := 30 + rng.Intn(40)
+		var a []int
+		var triplets [][]int
+		for i := 0; i < n; i++ {
+			x := 1 + rng.Intn(B-2)
+			y := 1 + rng.Intn(B-x-1)
+			z := B - x - y
+			base := len(a)
+			a = append(a, x, y, z)
+			triplets = append(triplets, []int{base, base + 1, base + 2})
+		}
+		tp := ThreePartition{B: B, A: a}
+		s, err := tp.ScheduleFromPartition(1, triplets)
+		if err != nil {
+			return false
+		}
+		return math.Abs(s.Dilation()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

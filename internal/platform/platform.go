@@ -1,0 +1,102 @@
+// Package platform defines the machine and application model of the paper:
+// a parallel platform of N identical unit-speed nodes, each equipped with an
+// I/O card of bandwidth b, in front of a centralized I/O system of total
+// bandwidth B (Section 2 of the paper). Applications run on dedicated nodes
+// and compete only for I/O bandwidth.
+//
+// Units: time is in seconds, data volumes in GiB, bandwidths in GiB/s.
+package platform
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Platform describes the compute and I/O capacities of a machine.
+type Platform struct {
+	// Name identifies the preset ("intrepid", "mira", "vesta", ...).
+	Name string
+	// Nodes is N, the number of compute nodes.
+	Nodes int
+	// NodeBW is b, the I/O-card bandwidth of one node (GiB/s).
+	NodeBW float64
+	// TotalBW is B, the aggregate bandwidth of the I/O system (GiB/s).
+	TotalBW float64
+	// BurstBuffer optionally describes an intermediate staging tier.
+	// A nil value means the machine has no burst buffers.
+	BurstBuffer *BurstBuffer
+}
+
+// BurstBuffer describes a finite-capacity staging tier between the compute
+// nodes and the parallel file system. While the buffer has free space,
+// application writes land in the buffer at up to IngestBW aggregate
+// bandwidth; the buffer drains to the file system at the platform's TotalBW.
+// Once full, ingest is limited to the drain rate.
+type BurstBuffer struct {
+	// Capacity is the total staging capacity (GiB).
+	Capacity float64
+	// IngestBW is the aggregate bandwidth from compute nodes into the
+	// buffer (GiB/s). It is normally a small multiple of the platform
+	// TotalBW; that headroom is what lets the buffer absorb bursts.
+	IngestBW float64
+}
+
+// Validate reports a descriptive error if the platform parameters are not
+// physically meaningful.
+func (p *Platform) Validate() error {
+	switch {
+	case p == nil:
+		return errors.New("platform: nil platform")
+	case p.Nodes <= 0:
+		return fmt.Errorf("platform %q: Nodes = %d, want > 0", p.Name, p.Nodes)
+	case p.NodeBW <= 0:
+		return fmt.Errorf("platform %q: NodeBW = %g, want > 0", p.Name, p.NodeBW)
+	case p.TotalBW <= 0:
+		return fmt.Errorf("platform %q: TotalBW = %g, want > 0", p.Name, p.TotalBW)
+	}
+	if bb := p.BurstBuffer; bb != nil {
+		if bb.Capacity <= 0 {
+			return fmt.Errorf("platform %q: burst buffer Capacity = %g, want > 0", p.Name, bb.Capacity)
+		}
+		if bb.IngestBW <= 0 {
+			return fmt.Errorf("platform %q: burst buffer IngestBW = %g, want > 0", p.Name, bb.IngestBW)
+		}
+	}
+	return nil
+}
+
+// PeakAppBW returns the maximum I/O bandwidth an application spanning the
+// given number of nodes can obtain in dedicated mode: min(β·b, B).
+func (p *Platform) PeakAppBW(nodes int) float64 {
+	bw := float64(nodes) * p.NodeBW
+	if bw > p.TotalBW {
+		return p.TotalBW
+	}
+	return bw
+}
+
+// WithoutBB returns a copy of the platform with the burst buffer removed.
+// The paper's headline comparison runs the proposed heuristics without
+// burst buffers against the production scheduler with them.
+func (p *Platform) WithoutBB() *Platform {
+	q := *p
+	q.BurstBuffer = nil
+	return &q
+}
+
+// WithBB returns a copy of the platform equipped with the given burst
+// buffer.
+func (p *Platform) WithBB(bb BurstBuffer) *Platform {
+	q := *p
+	q.BurstBuffer = &bb
+	return &q
+}
+
+func (p *Platform) String() string {
+	bb := "no BB"
+	if p.BurstBuffer != nil {
+		bb = fmt.Sprintf("BB %.0f GiB @ %.0f GiB/s", p.BurstBuffer.Capacity, p.BurstBuffer.IngestBW)
+	}
+	return fmt.Sprintf("%s: N=%d b=%.4g GiB/s B=%.4g GiB/s (%s)",
+		p.Name, p.Nodes, p.NodeBW, p.TotalBW, bb)
+}

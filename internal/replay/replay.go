@@ -1,0 +1,196 @@
+// Package replay evaluates what the global I/O scheduler would have bought
+// on a recorded machine trace: it locates the congested windows, replays
+// each window's applications through the simulator under the production
+// baseline and under the paper's heuristics, and reports per-window and
+// aggregate gains. This is the operator-facing workflow the paper's
+// Section 4.4 performs by hand on the Intrepid and Mira Darshan logs.
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Options configures an analysis.
+type Options struct {
+	Platform *platform.Platform
+	// Threshold is the congestion threshold as a fraction of B used to
+	// select windows (default 1.0).
+	Threshold float64
+	// Schedulers are the policies to evaluate (default: the paper's two
+	// Priority extremes and MinMax-0.5).
+	Schedulers []core.Scheduler
+	// Workers bounds replay parallelism.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold == 0 {
+		o.Threshold = 1.0
+	}
+	if len(o.Schedulers) == 0 {
+		o.Schedulers = []core.Scheduler{
+			core.MaxSysEff().WithPriority(),
+			core.MinMax(0.5).WithPriority(),
+			core.MinDilation().WithPriority(),
+		}
+	}
+	return o
+}
+
+// WindowResult is the outcome of replaying one congested window.
+type WindowResult struct {
+	Window   trace.Window
+	Jobs     int
+	Baseline metrics.Summary
+	PerSched map[string]metrics.Summary
+}
+
+// Result is a full trace analysis.
+type Result struct {
+	Platform   *platform.Platform
+	Schedulers []string
+	Windows    []WindowResult
+}
+
+// Analyze replays every congested window of the trace.
+func Analyze(recs []trace.JobRecord, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.Platform == nil {
+		return nil, errors.New("replay: nil platform")
+	}
+	if len(recs) == 0 {
+		return nil, errors.New("replay: empty trace")
+	}
+	windows := trace.FindCongestedWindows(recs, opts.Platform, opts.Threshold)
+	res := &Result{Platform: opts.Platform}
+	for _, s := range opts.Schedulers {
+		res.Schedulers = append(res.Schedulers, s.Name())
+	}
+	if len(windows) == 0 {
+		return res, nil
+	}
+	outs, err := parallel.Map(len(windows), opts.Workers, func(i int) (WindowResult, error) {
+		return replayWindow(recs, windows[i], opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Windows = outs
+	return res, nil
+}
+
+// replayWindow rebuilds the window's applications and runs the baseline
+// and every candidate scheduler on them.
+func replayWindow(recs []trace.JobRecord, w trace.Window, opts Options) (WindowResult, error) {
+	out := WindowResult{Window: w, Jobs: len(w.Jobs), PerSched: map[string]metrics.Summary{}}
+	apps := windowApps(recs, w, opts.Platform)
+	if len(apps) == 0 {
+		return out, fmt.Errorf("replay: window [%g, %g) has no replayable jobs", w.Start, w.End)
+	}
+	base, err := sim.Run(sim.Config{
+		Platform:  opts.Platform,
+		Scheduler: core.FairShare{},
+		Apps:      apps,
+		UseBB:     opts.Platform.BurstBuffer != nil,
+	})
+	if err != nil {
+		return out, fmt.Errorf("replay: window [%g, %g) baseline: %w", w.Start, w.End, err)
+	}
+	out.Baseline = base.Summary
+	for _, s := range opts.Schedulers {
+		clones := windowApps(recs, w, opts.Platform)
+		r, err := sim.Run(sim.Config{
+			Platform:  opts.Platform.WithoutBB(),
+			Scheduler: s,
+			Apps:      clones,
+		})
+		if err != nil {
+			return out, fmt.Errorf("replay: window [%g, %g) under %s: %w", w.Start, w.End, s.Name(), err)
+		}
+		out.PerSched[s.Name()] = r.Summary
+	}
+	return out, nil
+}
+
+// windowApps converts the window's job records into simulator applications
+// with time shifted so the window starts at zero (jobs already running
+// when the window opens are released immediately).
+func windowApps(recs []trace.JobRecord, w trace.Window, p *platform.Platform) []*platform.App {
+	var apps []*platform.App
+	nodesLeft := p.Nodes
+	for i, j := range w.Jobs {
+		if j < 0 || j >= len(recs) {
+			continue
+		}
+		r := recs[j]
+		if r.Nodes > nodesLeft || r.Instances == 0 {
+			continue // cannot co-schedule more than the machine holds
+		}
+		nodesLeft -= r.Nodes
+		a := r.ToApp(i)
+		a.Release = r.Start - w.Start
+		if a.Release < 0 {
+			a.Release = 0
+		}
+		apps = append(apps, a)
+	}
+	return apps
+}
+
+// Report renders the analysis: one row per window plus aggregate means.
+func (r *Result) Report() *report.Document {
+	doc := &report.Document{ID: "replay", Title: fmt.Sprintf("Trace replay on %s", r.Platform.Name)}
+	cols := []string{"jobs", "baseline eff", "baseline dil"}
+	for _, s := range r.Schedulers {
+		cols = append(cols, s+" eff", s+" dil")
+	}
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("%d congested windows", len(r.Windows)),
+		Columns: cols,
+		Notes: []string{
+			"baseline: max-min fair share with the machine's burst buffers",
+			"heuristic columns replay without burst buffers",
+		},
+	}
+	var aggBase []metrics.Summary
+	agg := map[string][]metrics.Summary{}
+	for i, w := range r.Windows {
+		cells := []float64{float64(w.Jobs), w.Baseline.SysEfficiency, w.Baseline.Dilation}
+		aggBase = append(aggBase, w.Baseline)
+		for _, s := range r.Schedulers {
+			sum := w.PerSched[s]
+			cells = append(cells, sum.SysEfficiency, sum.Dilation)
+			agg[s] = append(agg[s], sum)
+		}
+		tbl.AddRow(fmt.Sprintf("window %d [%.0f,%.0f)", i+1, w.Window.Start, w.Window.End), cells...)
+	}
+	if len(r.Windows) > 1 {
+		mb := metrics.MeanSummary(aggBase)
+		cells := []float64{float64(len(r.Windows)), mb.SysEfficiency, mb.Dilation}
+		for _, s := range r.Schedulers {
+			m := metrics.MeanSummary(agg[s])
+			cells = append(cells, m.SysEfficiency, m.Dilation)
+		}
+		tbl.AddRow("mean", cells...)
+	}
+	doc.Tables = append(doc.Tables, tbl)
+	return doc
+}
+
+// SortWindowsBySeverity orders the windows by baseline dilation, worst
+// first (useful when reporting only the top offenders).
+func (r *Result) SortWindowsBySeverity() {
+	sort.SliceStable(r.Windows, func(i, j int) bool {
+		return r.Windows[i].Baseline.Dilation > r.Windows[j].Baseline.Dilation
+	})
+}

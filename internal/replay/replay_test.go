@@ -1,0 +1,125 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// congestedTrace builds a trace whose jobs saturate the platform in one
+// window.
+func congestedTrace(t *testing.T, p *platform.Platform) []trace.JobRecord {
+	t.Helper()
+	apps, err := workload.Generate(workload.Config{
+		Platform: p,
+		Seed:     5,
+		Specs: []workload.Spec{
+			{Count: 12, Category: workload.Large},
+		},
+		IORatio:  0.3,
+		WMin:     150,
+		WMax:     400,
+		WQuantum: 150,
+		Fill:     0.95,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []trace.JobRecord
+	for i, a := range apps {
+		recs = append(recs, trace.FromApp(a, i, a.Release+a.DedicatedTime(p)))
+	}
+	return recs
+}
+
+func TestAnalyzeFindsAndReplaysWindows(t *testing.T) {
+	p := platform.Intrepid()
+	recs := congestedTrace(t, p)
+	res, err := Analyze(recs, Options{Platform: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) == 0 {
+		t.Fatal("no congested windows found in a saturating trace")
+	}
+	if len(res.Schedulers) != 3 {
+		t.Errorf("default scheduler set has %d entries, want 3", len(res.Schedulers))
+	}
+	for _, w := range res.Windows {
+		if w.Baseline.Dilation < 1 {
+			t.Errorf("baseline dilation %g < 1", w.Baseline.Dilation)
+		}
+		for name, sum := range w.PerSched {
+			if sum.Dilation < 1 {
+				t.Errorf("%s dilation %g < 1", name, sum.Dilation)
+			}
+			if sum.SysEfficiency <= 0 {
+				t.Errorf("%s efficiency %g", name, sum.SysEfficiency)
+			}
+		}
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	p := platform.Intrepid()
+	recs := congestedTrace(t, p)
+	res, err := Analyze(recs, Options{
+		Platform:   p,
+		Schedulers: []core.Scheduler{core.MaxSysEff()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := res.Report()
+	var sb strings.Builder
+	if err := doc.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"congested windows", "MaxSysEff eff", "window 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeQuietTrace(t *testing.T) {
+	p := platform.Intrepid()
+	recs := []trace.JobRecord{{
+		JobID: 1, App: "quiet", Nodes: 128, Start: 0, End: 1000,
+		BytesWritten: 1, Instances: 2, WorkPerInstance: 450, VolumePerInstance: 0.5,
+	}}
+	res, err := Analyze(recs, Options{Platform: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 0 {
+		t.Errorf("quiet trace produced %d windows", len(res.Windows))
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, Options{Platform: platform.Intrepid()}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := Analyze([]trace.JobRecord{{JobID: 1, Nodes: 1, Instances: 1}}, Options{}); err == nil {
+		t.Error("nil platform accepted")
+	}
+}
+
+func TestSortWindowsBySeverity(t *testing.T) {
+	res := &Result{Windows: []WindowResult{
+		{Baseline: metrics.Summary{Dilation: 1.2}},
+		{Baseline: metrics.Summary{Dilation: 3.0}},
+		{Baseline: metrics.Summary{Dilation: 2.1}},
+	}}
+	res.SortWindowsBySeverity()
+	if res.Windows[0].Baseline.Dilation != 3.0 || res.Windows[2].Baseline.Dilation != 1.2 {
+		t.Errorf("severity order wrong: %+v", res.Windows)
+	}
+}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// GanttSpan is one interval of a Gantt row rendered with the given glyph.
+type GanttSpan struct {
+	Start, End float64
+	Glyph      rune
+}
+
+// GanttRow is one timeline (typically one application).
+type GanttRow struct {
+	Label string
+	Spans []GanttSpan
+}
+
+// RenderGantt draws the rows as fixed-width ASCII timelines over [t0, t1).
+// Each of the width columns shows the glyph of the span covering the
+// column's midpoint (later spans win on ties); uncovered columns show a
+// space. A time axis is printed underneath.
+func RenderGantt(w io.Writer, rows []GanttRow, t0, t1 float64, width int) error {
+	if width <= 0 {
+		width = 80
+	}
+	if t1 <= t0 {
+		return fmt.Errorf("report: empty gantt span [%g, %g)", t0, t1)
+	}
+	labelWidth := 6
+	for _, r := range rows {
+		if len(r.Label) > labelWidth {
+			labelWidth = len(r.Label)
+		}
+	}
+	var b strings.Builder
+	dt := (t1 - t0) / float64(width)
+	for _, r := range rows {
+		line := make([]rune, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		for _, s := range r.Spans {
+			for i := 0; i < width; i++ {
+				mid := t0 + (float64(i)+0.5)*dt
+				if mid >= s.Start && mid < s.End {
+					line[i] = s.Glyph
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelWidth, r.Label, string(line))
+	}
+	// Axis: start, middle, end.
+	axis := fmt.Sprintf("%-*s  %-*s%*s", labelWidth, "",
+		width/2, fmt.Sprintf("%.0f", t0), width-width/2, fmt.Sprintf("%.0f s", t1))
+	b.WriteString(axis)
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

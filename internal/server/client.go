@@ -1,0 +1,202 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is an application-side connection to the scheduler daemon. It is
+// what an HPC application (or its I/O middleware) links against: call
+// RequestIO before each I/O phase, watch the grant stream while
+// transferring, and call CompleteIO afterwards.
+//
+// Grants arrive asynchronously — the server re-shares bandwidth whenever
+// any application's state changes — so the client exposes them as a
+// channel of bandwidth values.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex
+
+	mu     sync.Mutex
+	grants chan float64
+	lastBW float64
+	seq    uint64
+	err    error
+	closed bool
+	done   chan struct{}
+}
+
+// Dial connects and registers the application with the daemon.
+func Dial(addr string, appID, nodes int) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:   conn,
+		grants: make(chan float64, 64),
+		done:   make(chan struct{}),
+	}
+	if err := c.send(&Message{Type: TypeHello, AppID: appID, Nodes: nodes}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Grants returns the stream of bandwidth assignments (GiB/s). A zero
+// value means "stall until the next grant". The channel closes when the
+// connection ends.
+func (c *Client) Grants() <-chan float64 { return c.grants }
+
+// LastBW returns the most recent grant.
+func (c *Client) LastBW() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastBW
+}
+
+// Err returns the terminal error of the connection, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// RequestIO announces an I/O phase of volume GiB, crediting work seconds
+// of computation done since the last phase and ideal seconds of
+// dedicated-mode instance time.
+func (c *Client) RequestIO(volume, work, ideal float64) error {
+	return c.send(&Message{Type: TypeRequest, Volume: volume, Work: work, IdealTime: ideal})
+}
+
+// Progress reports the remaining volume mid-transfer.
+func (c *Client) Progress(remaining float64) error {
+	return c.send(&Message{Type: TypeProgress, Volume: remaining})
+}
+
+// CompleteIO reports the phase finished.
+func (c *Client) CompleteIO() error {
+	return c.send(&Message{Type: TypeComplete})
+}
+
+// Close deregisters and disconnects.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.send(&Message{Type: TypeBye})
+	c.conn.Close()
+	<-c.done
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// WaitForBandwidth blocks until a nonzero grant arrives or the timeout
+// expires; it returns the granted bandwidth.
+func (c *Client) WaitForBandwidth(timeout time.Duration) (float64, error) {
+	if bw := c.LastBW(); bw > 0 {
+		return bw, nil
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case bw, ok := <-c.grants:
+			if !ok {
+				if err := c.Err(); err != nil {
+					return 0, err
+				}
+				return 0, errors.New("server: connection closed while waiting for bandwidth")
+			}
+			if bw > 0 {
+				return bw, nil
+			}
+		case <-deadline.C:
+			return 0, fmt.Errorf("server: no bandwidth within %v", timeout)
+		}
+	}
+}
+
+func (c *Client) send(m *Message) error {
+	b, err := encode(m)
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.conn.Write(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	defer close(c.grants)
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	for sc.Scan() {
+		msg, err := decode(sc.Bytes())
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch msg.Type {
+		case TypeGrant:
+			c.mu.Lock()
+			stale := msg.Seq < c.seq
+			if !stale {
+				c.seq = msg.Seq
+				c.lastBW = msg.BW
+			}
+			c.mu.Unlock()
+			if stale {
+				continue
+			}
+			select {
+			case c.grants <- msg.BW:
+			default:
+				// A slow consumer only ever needs the latest value;
+				// drop the oldest to make room.
+				select {
+				case <-c.grants:
+				default:
+				}
+				select {
+				case c.grants <- msg.BW:
+				default:
+				}
+			}
+		case TypeError:
+			c.fail(errors.New(msg.Err))
+			return
+		default:
+			c.fail(fmt.Errorf("server: unexpected %q from server", msg.Type))
+			return
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
+		c.fail(err)
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}

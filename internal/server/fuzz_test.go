@@ -1,0 +1,34 @@
+package server
+
+import "testing"
+
+// FuzzDecode checks the protocol decoder never panics and that accepted
+// messages re-encode.
+func FuzzDecode(f *testing.F) {
+	f.Add(`{"type":"hello","app_id":1,"nodes":64}`)
+	f.Add(`{"type":"request","volume_gib":12.5,"work_s":100,"ideal_s":110}`)
+	f.Add(`{"type":"grant","app_id":1,"bw_gibs":4,"seq":9}`)
+	f.Add(`{"type":"complete"}`)
+	f.Add(`{"type":"error","err":"boom"}`)
+	f.Add(`{}`)
+	f.Add(`{"type":"nope"}`)
+	f.Add(`garbage`)
+
+	f.Fuzz(func(t *testing.T, line string) {
+		msg, err := decode([]byte(line))
+		if err != nil {
+			return
+		}
+		b, err := encode(msg)
+		if err != nil {
+			t.Fatalf("accepted message failed to encode: %v", err)
+		}
+		again, err := decode(b[:len(b)-1]) // strip the trailing newline
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Type != msg.Type {
+			t.Fatalf("type changed through round trip: %q -> %q", msg.Type, again.Type)
+		}
+	})
+}

@@ -1,0 +1,113 @@
+// Package server turns the paper's global I/O scheduler into a deployable
+// network service: applications connect over TCP, announce their node
+// count, and ask permission before every I/O phase; the server runs one of
+// the core scheduling policies and pushes bandwidth grants back. This is
+// the production shape of the paper's Section 5 prototype ("one separate
+// thread acts as the scheduler and receives I/O requests for all groups"),
+// generalized from an in-job thread to a machine-level daemon.
+//
+// The wire protocol is newline-delimited JSON, one message per line, so a
+// client can be written in any language (or driven with netcat for
+// debugging). All bandwidths are GiB/s, volumes GiB, durations seconds.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Message types. Clients send hello/request/progress/complete/bye;
+// the server sends grant/error.
+const (
+	// TypeHello registers an application: AppID, Nodes, and optionally
+	// Work and IdealTime per upcoming instance for efficiency accounting.
+	TypeHello = "hello"
+	// TypeRequest asks to start an I/O phase of Volume GiB; Work is the
+	// computation completed since the previous phase, IdealTime the
+	// dedicated-mode duration of the instance (both feed the policy's
+	// efficiency bookkeeping).
+	TypeRequest = "request"
+	// TypeProgress informs the server of remaining volume mid-transfer
+	// (clients send it if they throttle locally; optional).
+	TypeProgress = "progress"
+	// TypeComplete reports the I/O phase done.
+	TypeComplete = "complete"
+	// TypeBye deregisters the application.
+	TypeBye = "bye"
+	// TypeGrant is the server's bandwidth assignment push. BW = 0 means
+	// the application must stall until the next grant.
+	TypeGrant = "grant"
+	// TypeError reports a protocol violation; the connection closes
+	// afterwards.
+	TypeError = "error"
+)
+
+// Message is the single frame type used in both directions; unused fields
+// are omitted on the wire.
+type Message struct {
+	Type  string `json:"type"`
+	AppID int    `json:"app_id,omitempty"`
+
+	// Hello fields.
+	Nodes int `json:"nodes,omitempty"`
+
+	// Request/progress fields.
+	Volume    float64 `json:"volume_gib,omitempty"`
+	Work      float64 `json:"work_s,omitempty"`
+	IdealTime float64 `json:"ideal_s,omitempty"`
+
+	// Grant fields.
+	BW float64 `json:"bw_gibs,omitempty"`
+	// Seq increases with every allocation round so clients can discard
+	// out-of-order grants.
+	Seq uint64 `json:"seq,omitempty"`
+
+	// Error field.
+	Err string `json:"err,omitempty"`
+}
+
+// Validate checks the message against its declared type.
+func (m *Message) Validate() error {
+	switch m.Type {
+	case TypeHello:
+		if m.Nodes <= 0 {
+			return fmt.Errorf("server: hello with nodes = %d", m.Nodes)
+		}
+	case TypeRequest:
+		if m.Volume <= 0 {
+			return fmt.Errorf("server: request with volume = %g", m.Volume)
+		}
+		if m.Work < 0 || m.IdealTime < 0 {
+			return fmt.Errorf("server: request with negative accounting (work %g, ideal %g)", m.Work, m.IdealTime)
+		}
+	case TypeProgress:
+		if m.Volume < 0 {
+			return fmt.Errorf("server: progress with volume = %g", m.Volume)
+		}
+	case TypeComplete, TypeBye, TypeGrant, TypeError:
+	default:
+		return fmt.Errorf("server: unknown message type %q", m.Type)
+	}
+	return nil
+}
+
+// encode serializes a message to one JSON line.
+func encode(m *Message) ([]byte, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding %s: %w", m.Type, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// decode parses one JSON line.
+func decode(line []byte) (*Message, error) {
+	var m Message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return nil, fmt.Errorf("server: decoding message: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

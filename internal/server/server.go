@@ -1,0 +1,400 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config describes the scheduler daemon.
+type Config struct {
+	// Policy decides bandwidth sharing (e.g. core.MaxSysEff()).
+	Policy core.Scheduler
+	// TotalBW and NodeBW are the machine's B and b.
+	TotalBW float64
+	NodeBW  float64
+	// Logger receives connection-level diagnostics; nil disables logging.
+	Logger *log.Logger
+	// Now overrides the clock (tests); nil uses time.Now.
+	Now func() time.Time
+}
+
+// Server is the global I/O scheduler daemon. Create with New, start with
+// Serve (or let ListenAndServe create the listener), stop with Close.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	mu       sync.Mutex
+	sessions map[int]*session
+	seq      uint64
+	closed   bool
+	ln       net.Listener
+	wg       sync.WaitGroup
+
+	// wake re-triggers allocation at a Waker policy's chosen time (e.g.
+	// core.Timeout promoting expired stalls).
+	wake *time.Timer
+
+	// decisions counts allocation rounds (metrics endpoint of sorts).
+	decisions uint64
+}
+
+// session is one connected application.
+type session struct {
+	conn net.Conn
+	wmu  sync.Mutex // serializes writes (grants are pushed from other sessions' events)
+	view core.AppView
+	bw   float64 // last pushed grant
+}
+
+// New builds a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Policy == nil {
+		return nil, errors.New("server: nil policy")
+	}
+	if cfg.TotalBW <= 0 || cfg.NodeBW <= 0 {
+		return nil, fmt.Errorf("server: bad capacities (B=%g, b=%g)", cfg.TotalBW, cfg.NodeBW)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Server{
+		cfg:      cfg,
+		start:    cfg.Now(),
+		sessions: make(map[int]*session),
+	}, nil
+}
+
+// now returns seconds since the server started; it is the time base for
+// the policy's efficiency bookkeeping.
+func (s *Server) now() float64 {
+	return s.cfg.Now().Sub(s.start).Seconds()
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. Each connection is one
+// application.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Addr returns the listen address (useful with ":0" in tests).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, disconnects all applications and waits for the
+// connection handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	if s.wake != nil {
+		s.wake.Stop()
+		s.wake = nil
+	}
+	for _, sess := range s.sessions {
+		sess.conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Decisions returns the number of allocation rounds performed.
+func (s *Server) Decisions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.decisions
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// handle runs one application's connection: a hello, then a stream of
+// request/progress/complete messages.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+
+	sess, err := s.expectHello(conn, sc)
+	if err != nil {
+		s.replyError(conn, err)
+		return
+	}
+	defer s.drop(sess)
+
+	for sc.Scan() {
+		msg, err := decode(sc.Bytes())
+		if err != nil {
+			s.replyError(conn, err)
+			return
+		}
+		if err := s.dispatch(sess, msg); err != nil {
+			if errors.Is(err, errBye) {
+				return
+			}
+			s.replyError(conn, err)
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		s.logf("app %d: read: %v", sess.view.ID, err)
+	}
+}
+
+var errBye = errors.New("server: client said bye")
+
+func (s *Server) expectHello(conn net.Conn, sc *bufio.Scanner) (*session, error) {
+	if !sc.Scan() {
+		return nil, errors.New("server: connection closed before hello")
+	}
+	msg, err := decode(sc.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if msg.Type != TypeHello {
+		return nil, fmt.Errorf("server: first message is %q, want hello", msg.Type)
+	}
+	sess := &session{
+		conn: conn,
+		view: core.AppView{
+			ID:      msg.AppID,
+			Nodes:   msg.Nodes,
+			Release: s.now(),
+			Phase:   core.Computing,
+		},
+	}
+	sess.view.LastIOEnd = sess.view.Release
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("server: shutting down")
+	}
+	if _, dup := s.sessions[msg.AppID]; dup {
+		return nil, fmt.Errorf("server: app id %d already connected", msg.AppID)
+	}
+	s.sessions[msg.AppID] = sess
+	s.logf("app %d joined (%d nodes)", msg.AppID, msg.Nodes)
+	return sess, nil
+}
+
+// dispatch handles one post-hello message and triggers reallocation when
+// the I/O state changes.
+func (s *Server) dispatch(sess *session, msg *Message) error {
+	if msg.AppID != 0 && msg.AppID != sess.view.ID {
+		return fmt.Errorf("server: message for app %d on app %d's connection", msg.AppID, sess.view.ID)
+	}
+	s.mu.Lock()
+	switch msg.Type {
+	case TypeRequest:
+		sess.view.CreditedWork += msg.Work
+		sess.view.CreditedIdeal += msg.IdealTime
+		sess.view.Phase = core.Pending
+		sess.view.RemVolume = msg.Volume
+		sess.view.Started = false
+		sess.view.PendingSince = s.now()
+	case TypeProgress:
+		if sess.view.WantsIO() && msg.Volume < sess.view.RemVolume {
+			sess.view.RemVolume = msg.Volume
+		}
+	case TypeComplete:
+		sess.view.Phase = core.Computing
+		sess.view.RemVolume = 0
+		sess.view.Started = false
+		sess.view.LastIOEnd = s.now()
+		sess.bw = 0
+	case TypeBye:
+		s.mu.Unlock()
+		return errBye
+	case TypeHello:
+		s.mu.Unlock()
+		return errors.New("server: duplicate hello")
+	default:
+		s.mu.Unlock()
+		return fmt.Errorf("server: unexpected %q from client", msg.Type)
+	}
+	grants := s.reallocateLocked()
+	s.mu.Unlock()
+	s.push(grants)
+	return nil
+}
+
+// drop removes a session and rebalances the remaining applications.
+func (s *Server) drop(sess *session) {
+	s.mu.Lock()
+	if cur, ok := s.sessions[sess.view.ID]; ok && cur == sess {
+		delete(s.sessions, sess.view.ID)
+		s.logf("app %d left", sess.view.ID)
+	}
+	grants := s.reallocateLocked()
+	s.mu.Unlock()
+	s.push(grants)
+}
+
+// pushGrant is one outgoing grant with its target session.
+type pushGrant struct {
+	sess *session
+	msg  Message
+}
+
+// reallocateLocked runs the policy over the current views and returns the
+// set of grant pushes for sessions whose bandwidth changed. Callers hold
+// s.mu.
+func (s *Server) reallocateLocked() []pushGrant {
+	var want []*core.AppView
+	bySessID := make(map[int]*session)
+	for id, sess := range s.sessions {
+		if sess.view.WantsIO() {
+			want = append(want, &sess.view)
+			bySessID[id] = sess
+		}
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	s.decisions++
+	s.seq++
+	cap := core.Capacity{TotalBW: s.cfg.TotalBW, NodeBW: s.cfg.NodeBW}
+	grants := s.cfg.Policy.Allocate(s.now(), want, cap)
+	granted := make(map[int]float64, len(grants))
+	for _, g := range grants {
+		granted[g.AppID] = g.BW
+	}
+	var out []pushGrant
+	for id, sess := range bySessID {
+		bw := granted[id]
+		if bw == sess.bw && sess.view.Started {
+			continue // no change; don't spam the client
+		}
+		sess.bw = bw
+		if bw > 0 {
+			sess.view.Phase = core.Transferring
+			sess.view.Started = true
+		} else {
+			if sess.view.Phase == core.Transferring {
+				sess.view.PendingSince = s.now()
+			}
+			sess.view.Phase = core.Pending
+		}
+		out = append(out, pushGrant{
+			sess: sess,
+			msg:  Message{Type: TypeGrant, AppID: id, BW: bw, Seq: s.seq},
+		})
+	}
+	s.armWakeLocked(want)
+	return out
+}
+
+// armWakeLocked (re)arms the policy's self-wake timer. Callers hold s.mu.
+func (s *Server) armWakeLocked(views []*core.AppView) {
+	w, ok := s.cfg.Policy.(core.Waker)
+	if !ok || s.closed {
+		return
+	}
+	now := s.now()
+	wake, want := w.NextWake(now, views)
+	if s.wake != nil {
+		s.wake.Stop()
+		s.wake = nil
+	}
+	if !want || wake <= now {
+		return
+	}
+	s.wake = time.AfterFunc(time.Duration((wake-now)*float64(time.Second)), func() {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		grants := s.reallocateLocked()
+		s.mu.Unlock()
+		s.push(grants)
+	})
+}
+
+// push delivers grant messages outside the state lock (a slow client must
+// not stall scheduling; each session has its own write lock).
+func (s *Server) push(grants []pushGrant) {
+	for _, g := range grants {
+		g := g
+		if err := s.send(g.sess, &g.msg); err != nil {
+			s.logf("app %d: push: %v", g.msg.AppID, err)
+		}
+	}
+}
+
+func (s *Server) send(sess *session, msg *Message) error {
+	b, err := encode(msg)
+	if err != nil {
+		return err
+	}
+	sess.wmu.Lock()
+	defer sess.wmu.Unlock()
+	_, err = sess.conn.Write(b)
+	return err
+}
+
+func (s *Server) replyError(conn net.Conn, cause error) {
+	b, err := encode(&Message{Type: TypeError, Err: cause.Error()})
+	if err == nil {
+		conn.Write(b) //nolint:errcheck // best effort before close
+	}
+	s.logf("protocol error: %v", cause)
+}

@@ -1,0 +1,357 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// startServer runs a daemon on an ephemeral port and returns its address.
+func startServer(t *testing.T, policy core.Scheduler) (*Server, string) {
+	t.Helper()
+	srv, err := New(Config{Policy: policy, TotalBW: 10, NodeBW: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // exits on Close
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func TestSingleClientRoundTrip(t *testing.T) {
+	_, addr := startServer(t, core.MaxSysEff())
+	c, err := Dial(addr, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.RequestIO(40, 100, 110); err != nil {
+		t.Fatal(err)
+	}
+	bw, err := c.WaitForBandwidth(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alone on the machine: min(4*1, 10) = 4 GiB/s.
+	if bw != 4 {
+		t.Errorf("granted %g GiB/s, want 4", bw)
+	}
+	if err := c.CompleteIO(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoClientsContend(t *testing.T) {
+	srv, addr := startServer(t, core.MaxSysEff())
+	a, err := Dial(addr, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(addr, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.RequestIO(100, 50, 60); err != nil {
+		t.Fatal(err)
+	}
+	bwA, err := a.WaitForBandwidth(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bwA != 8 {
+		t.Errorf("first requester granted %g, want its card limit 8", bwA)
+	}
+
+	// The second requester only fits partially: 10 - 8 = 2 left.
+	if err := b.RequestIO(100, 50, 60); err != nil {
+		t.Fatal(err)
+	}
+	bwB, err := b.WaitForBandwidth(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bwB <= 0 || bwB > 2+1e-9 {
+		t.Errorf("second requester granted %g, want at most the 2 GiB/s leftover", bwB)
+	}
+
+	// When A completes, B should be re-granted its full card bandwidth.
+	if err := a.CompleteIO(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case bw := <-b.Grants():
+			if bw == 8 {
+				if srv.Decisions() == 0 {
+					t.Error("server reports no decisions")
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatalf("B never re-granted full bandwidth (last %g)", b.LastBW())
+		}
+	}
+}
+
+func TestGrantNeverExceedsCaps(t *testing.T) {
+	_, addr := startServer(t, core.MinDilation())
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for id := 1; id <= 6; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr, id, 3)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for iter := 0; iter < 3; iter++ {
+				if err := c.RequestIO(1, 10, 11); err != nil {
+					errs <- err
+					return
+				}
+				bw, err := c.WaitForBandwidth(5 * time.Second)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if bw > 3+1e-9 {
+					errs <- fmt.Errorf("app %d granted %g > card limit 3", id, bw)
+					return
+				}
+				time.Sleep(time.Millisecond)
+				if err := c.CompleteIO(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	_, addr := startServer(t, core.MaxSysEff())
+
+	send := func(lines ...string) string {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		for _, l := range lines {
+			if _, err := conn.Write([]byte(l + "\n")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		sc := bufio.NewScanner(conn)
+		var last string
+		for sc.Scan() {
+			last = sc.Text()
+			if strings.Contains(last, `"error"`) {
+				break
+			}
+		}
+		return last
+	}
+
+	cases := []struct {
+		name  string
+		lines []string
+	}{
+		{"garbage", []string{"{nope"}},
+		{"request-before-hello", []string{`{"type":"request","volume_gib":5}`}},
+		{"zero-nodes", []string{`{"type":"hello","app_id":9,"nodes":0}`}},
+		{"duplicate-hello", []string{
+			`{"type":"hello","app_id":9,"nodes":2}`,
+			`{"type":"hello","app_id":9,"nodes":2}`,
+		}},
+		{"negative-volume", []string{
+			`{"type":"hello","app_id":9,"nodes":2}`,
+			`{"type":"request","volume_gib":-1}`,
+		}},
+	}
+	for _, c := range cases {
+		if got := send(c.lines...); !strings.Contains(got, `"error"`) {
+			t.Errorf("%s: no error reply, got %q", c.name, got)
+		}
+	}
+}
+
+func TestDuplicateAppID(t *testing.T) {
+	_, addr := startServer(t, core.MaxSysEff())
+	a, err := Dial(addr, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(addr, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// The duplicate gets an error pushed and its grant stream closed.
+	select {
+	case _, ok := <-b.Grants():
+		if ok {
+			t.Error("duplicate got a grant instead of an error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("duplicate connection not rejected")
+	}
+	if b.Err() == nil {
+		t.Error("duplicate client has no terminal error")
+	}
+}
+
+func TestDisconnectRebalances(t *testing.T) {
+	_, addr := startServer(t, core.MaxSysEff())
+	a, err := Dial(addr, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Dial(addr, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.RequestIO(100, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.WaitForBandwidth(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RequestIO(100, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// B is squeezed to the 2 GiB/s leftover; then A vanishes without
+	// completing (crash) and B must be re-granted.
+	if _, err := b.WaitForBandwidth(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	a.conn.Close() // simulate a crash, no bye
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case bw := <-b.Grants():
+			if bw == 8 {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("survivor not re-granted after peer crash (last %g)", b.LastBW())
+		}
+	}
+}
+
+// TestConcurrentStress runs many clients doing full compute/IO loops and
+// checks everybody finishes; run with -race to exercise the locking.
+func TestConcurrentStress(t *testing.T) {
+	srv, addr := startServer(t, core.MinMax(0.5))
+	const clients = 8
+	const iters = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for id := 1; id <= clients; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr, id, 2)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < iters; i++ {
+				time.Sleep(time.Duration(id) * time.Millisecond) // "compute"
+				if err := c.RequestIO(0.5, 0.01, 0.012); err != nil {
+					errs <- fmt.Errorf("app %d: %w", id, err)
+					return
+				}
+				if _, err := c.WaitForBandwidth(10 * time.Second); err != nil {
+					errs <- fmt.Errorf("app %d iter %d: %w", id, i, err)
+					return
+				}
+				time.Sleep(2 * time.Millisecond) // "transfer"
+				if err := c.CompleteIO(); err != nil {
+					errs <- fmt.Errorf("app %d: %w", id, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if srv.Decisions() == 0 {
+		t.Error("no scheduling decisions recorded")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{TotalBW: 1, NodeBW: 1}); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := New(Config{Policy: core.MaxSysEff(), NodeBW: 1}); err == nil {
+		t.Error("zero TotalBW accepted")
+	}
+	if _, err := New(Config{Policy: core.MaxSysEff(), TotalBW: 1}); err == nil {
+		t.Error("zero NodeBW accepted")
+	}
+}
+
+func TestMessageValidate(t *testing.T) {
+	good := []Message{
+		{Type: TypeHello, Nodes: 4},
+		{Type: TypeRequest, Volume: 1},
+		{Type: TypeProgress, Volume: 0},
+		{Type: TypeComplete},
+		{Type: TypeBye},
+		{Type: TypeGrant},
+	}
+	for _, m := range good {
+		m := m
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s rejected: %v", m.Type, err)
+		}
+	}
+	bad := []Message{
+		{Type: "nope"},
+		{Type: TypeHello, Nodes: 0},
+		{Type: TypeRequest, Volume: 0},
+		{Type: TypeRequest, Volume: 1, Work: -1},
+		{Type: TypeProgress, Volume: -1},
+	}
+	for _, m := range bad {
+		m := m
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s accepted", m.Type)
+		}
+	}
+}

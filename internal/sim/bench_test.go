@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func BenchmarkRun(b *testing.B) {
+	for _, nApps := range []int{5, 20, 60} {
+		p := &platform.Platform{Name: "bench", Nodes: 10000, NodeBW: 0.05, TotalBW: 20}
+		var apps []*platform.App
+		for i := 0; i < nApps; i++ {
+			apps = append(apps, platform.NewPeriodic(i, 100+(i%7)*20,
+				float64(50+i%30), float64(20+i%40), 10))
+		}
+		b.Run(fmt.Sprintf("apps-%d", nApps), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(Config{
+					Platform:  p,
+					Scheduler: core.MaxSysEff(),
+					Apps:      apps,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Summary.Dilation < 1 {
+					b.Fatal("bad dilation")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRunWithBurstBuffer(b *testing.B) {
+	p := &platform.Platform{
+		Name: "bench", Nodes: 10000, NodeBW: 0.05, TotalBW: 20,
+		BurstBuffer: &platform.BurstBuffer{Capacity: 200, IngestBW: 80},
+	}
+	var apps []*platform.App
+	for i := 0; i < 20; i++ {
+		apps = append(apps, platform.NewPeriodic(i, 100+(i%7)*20,
+			float64(50+i%30), float64(20+i%40), 10))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{
+			Platform:  p,
+			Scheduler: core.FairShare{},
+			Apps:      apps,
+			UseBB:     true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// TestInvariantsQuick drives randomized workloads through every scheduler
+// and asserts the cross-cutting invariants of the model:
+//
+//   - the run terminates,
+//   - every application finishes no earlier than its dedicated time,
+//   - Dilation >= 1 and SysEfficiency <= upper limit,
+//   - total transferred volume equals the workload's volume,
+//   - makespan is bounded by full serialization of all I/O plus compute.
+func TestInvariantsQuick(t *testing.T) {
+	schedulers := []core.Scheduler{
+		core.MaxSysEff(),
+		core.MinDilation().WithPriority(),
+		core.MinMax(0.3),
+		core.RoundRobin(),
+		core.FairShare{},
+		core.ProportionalShare{},
+		core.Exclusive{},
+		core.NewTimeout(core.MaxSysEff(), 50),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := &platform.Platform{
+			Name:    "quick",
+			Nodes:   200,
+			NodeBW:  0.5 + rng.Float64(),
+			TotalBW: 5 + rng.Float64()*20,
+		}
+		n := 2 + rng.Intn(6)
+		var apps []*platform.App
+		nodesLeft := p.Nodes
+		for i := 0; i < n && nodesLeft > 2; i++ {
+			nodes := 1 + rng.Intn(nodesLeft/2)
+			nodesLeft -= nodes
+			inst := 1 + rng.Intn(5)
+			a := &platform.App{ID: i, Name: "q", Nodes: nodes,
+				Release: rng.Float64() * 50}
+			for j := 0; j < inst; j++ {
+				a.Instances = append(a.Instances, platform.Instance{
+					Work:   rng.Float64() * 50,
+					Volume: rng.Float64() * 40,
+				})
+				if a.Instances[j].Work == 0 && a.Instances[j].Volume == 0 {
+					a.Instances[j].Work = 1
+				}
+			}
+			apps = append(apps, a)
+		}
+		if len(apps) == 0 {
+			return true
+		}
+
+		// Serialization bound: all compute of the longest chain plus ALL
+		// I/O through the shared bottleneck, plus release offsets.
+		var serial float64
+		for _, a := range apps {
+			serial += a.Release + a.TotalWork() + a.TotalVolume()/minf(float64(a.Nodes)*p.NodeBW, p.TotalBW)
+		}
+
+		for _, sched := range schedulers {
+			clones := make([]*platform.App, len(apps))
+			for i, a := range apps {
+				clones[i] = a.CloneWithID(a.ID)
+				clones[i].Name = a.Name
+				clones[i].Release = a.Release
+			}
+			res, err := Run(Config{
+				Platform:    p,
+				Scheduler:   sched,
+				Apps:        clones,
+				CheckGrants: true,
+			})
+			if err != nil {
+				t.Logf("seed %d under %s: %v", seed, sched.Name(), err)
+				return false
+			}
+			if res.Summary.Dilation < 1-1e-9 {
+				t.Logf("seed %d under %s: dilation %g", seed, sched.Name(), res.Summary.Dilation)
+				return false
+			}
+			if res.Summary.SysEfficiency > res.Summary.UpperLimit+1e-6 {
+				t.Logf("seed %d under %s: eff %g > upper %g", seed, sched.Name(),
+					res.Summary.SysEfficiency, res.Summary.UpperLimit)
+				return false
+			}
+			for i, ap := range res.Apps {
+				if ap.Finish+1e-6 < clones[i].Release+clones[i].DedicatedTime(p) {
+					t.Logf("seed %d under %s: app %d finished before dedicated bound", seed, sched.Name(), i)
+					return false
+				}
+				if ap.Volume != clones[i].TotalVolume() {
+					t.Logf("seed %d under %s: app %d volume mismatch", seed, sched.Name(), i)
+					return false
+				}
+			}
+			if res.Summary.Makespan > serial+1e-6 {
+				t.Logf("seed %d under %s: makespan %g beyond serialization bound %g",
+					seed, sched.Name(), res.Summary.Makespan, serial)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,500 @@
+// Package sim is the application-level event-driven simulator used for the
+// paper's Section 4 evaluation. It executes a mix of applications on a
+// platform under a pluggable global I/O scheduler, with piecewise-constant
+// bandwidth assignments between events (an event is the start or end of an
+// I/O transfer, a compute-phase completion, an application release, or a
+// burst-buffer fill/empty crossing).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bb"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Platform  *platform.Platform
+	Scheduler core.Scheduler
+	Apps      []*platform.App
+
+	// UseBB routes all writes through the platform's burst buffer: while
+	// the buffer has free space applications ingest at up to its
+	// IngestBW and resume computing as soon as their volume is staged;
+	// the buffer drains to the file system at TotalBW; once full, ingest
+	// is limited to the drain rate. Requires Platform.BurstBuffer.
+	UseBB bool
+
+	// RequestLatency is the delay between an application finishing its
+	// compute phase and its request becoming visible to the global
+	// scheduler (the cost of calling the scheduler, Section 5.1). Zero
+	// models an oracle scheduler.
+	RequestLatency float64
+
+	// MaxTime aborts the run if the clock passes this horizon.
+	// Zero selects a generous default derived from the workload.
+	MaxTime float64
+
+	// CheckGrants validates every scheduler decision against the
+	// capacity constraints (used in tests; small overhead).
+	CheckGrants bool
+
+	// Trace, when non-nil, records every application's phase and
+	// bandwidth over time for visualization (report.RenderGantt).
+	Trace *Trace
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Apps    []metrics.AppPerf
+	Summary metrics.Summary
+	// Events is the number of event instants processed.
+	Events int
+	// Decisions is the number of scheduler invocations.
+	Decisions int
+	// BBPeakLevel is the maximum burst-buffer fill level reached (GiB).
+	BBPeakLevel float64
+	// BBFullTime is the total time the burst buffer spent full (seconds).
+	BBFullTime float64
+}
+
+type phase int
+
+const (
+	notReleased phase = iota
+	computing
+	requesting // compute done, scheduler request in flight
+	doingIO    // pending or transferring, per grant
+	finished
+)
+
+type appState struct {
+	app  *platform.App
+	view core.AppView
+
+	phase   phase
+	idx     int     // current instance
+	until   float64 // phase deadline: release / compute end / request ready
+	bw      float64 // current aggregate grant (GiB/s)
+	ioStart float64 // when the current instance first wanted I/O
+
+	ioTime float64
+	finish float64
+}
+
+const (
+	timeEps = 1e-9 // events closer than this are simultaneous
+	volEps  = 1e-9 // remaining volume below this counts as done
+)
+
+// Run executes the simulation and returns per-application performance and
+// the run summary.
+func Run(cfg Config) (*Result, error) {
+	if err := platform.ValidateApps(cfg.Platform, cfg.Apps); err != nil {
+		return nil, err
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("sim: nil scheduler")
+	}
+	if cfg.UseBB && cfg.Platform.BurstBuffer == nil {
+		return nil, fmt.Errorf("sim: UseBB set but platform %q has no burst buffer", cfg.Platform.Name)
+	}
+	s := newSimulation(cfg)
+	return s.run()
+}
+
+type simulation struct {
+	cfg  Config
+	p    *platform.Platform
+	apps []*appState
+
+	now       float64
+	events    int
+	decisions int
+
+	// buffer is non-nil when the run stages writes through a burst
+	// buffer.
+	buffer *bb.Model
+
+	maxTime float64
+}
+
+func newSimulation(cfg Config) *simulation {
+	s := &simulation{cfg: cfg, p: cfg.Platform}
+	var horizon float64
+	maxRelease := 0.0
+	for _, a := range cfg.Apps {
+		st := &appState{
+			app:   a,
+			phase: notReleased,
+			until: a.Release,
+			view: core.AppView{
+				ID:        a.ID,
+				Nodes:     a.Nodes,
+				Release:   a.Release,
+				Phase:     core.Computing,
+				LastIOEnd: a.Release,
+			},
+		}
+		s.apps = append(s.apps, st)
+		horizon += a.DedicatedTime(cfg.Platform)
+		if a.Release > maxRelease {
+			maxRelease = a.Release
+		}
+	}
+	s.maxTime = cfg.MaxTime
+	if s.maxTime == 0 {
+		// Even full serialization of all I/O cannot exceed the summed
+		// dedicated times plus request latencies; scale generously.
+		s.maxTime = maxRelease + 20*horizon + 1e4
+	}
+	if cfg.UseBB {
+		buf := cfg.Platform.BurstBuffer
+		s.buffer = bb.New(buf.Capacity, buf.IngestBW, cfg.Platform.TotalBW)
+	}
+	return s
+}
+
+func (s *simulation) run() (*Result, error) {
+	s.startReleased()
+	s.reallocate()
+	maxEvents := s.eventBudget()
+	for !s.allFinished() {
+		next := s.nextEventTime()
+		if math.IsInf(next, 1) {
+			return nil, fmt.Errorf("sim: deadlock at t=%g: no future event but %d apps unfinished",
+				s.now, s.unfinished())
+		}
+		if next > s.maxTime {
+			return nil, fmt.Errorf("sim: exceeded time horizon %g (next event %g)", s.maxTime, next)
+		}
+		s.advanceTo(next)
+		s.fireDue()
+		s.reallocate()
+		s.events++
+		if s.events > maxEvents {
+			return nil, fmt.Errorf("sim: exceeded event budget %d at t=%g", maxEvents, s.now)
+		}
+	}
+	return s.collect(), nil
+}
+
+func (s *simulation) eventBudget() int {
+	n := 0
+	for _, st := range s.apps {
+		n += len(st.app.Instances)
+	}
+	// Each instance causes a bounded number of events directly, but every
+	// event can preempt every other application, so the budget is
+	// quadratic in the instance count. The +BB crossings add a constant
+	// factor.
+	return 100*n*len(s.apps) + 1000
+}
+
+func (s *simulation) allFinished() bool {
+	for _, st := range s.apps {
+		if st.phase != finished {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *simulation) unfinished() int {
+	n := 0
+	for _, st := range s.apps {
+		if st.phase != finished {
+			n++
+		}
+	}
+	return n
+}
+
+// startReleased moves apps whose release time is now into their first
+// compute phase.
+func (s *simulation) startReleased() {
+	for _, st := range s.apps {
+		if st.phase == notReleased && st.until <= s.now+timeEps {
+			s.beginCompute(st)
+		}
+	}
+}
+
+// beginCompute enters the compute phase of the current instance, skipping
+// zero-work phases.
+func (s *simulation) beginCompute(st *appState) {
+	inst := st.app.Instances[st.idx]
+	st.phase = computing
+	st.view.Phase = core.Computing
+	st.until = s.now + inst.Work
+	st.bw = 0
+	if inst.Work == 0 {
+		s.completeCompute(st)
+	}
+}
+
+// completeCompute credits the instance's work and moves to the I/O request.
+func (s *simulation) completeCompute(st *appState) {
+	inst := st.app.Instances[st.idx]
+	st.view.CreditedWork += inst.Work
+	st.view.CreditedIdeal += inst.Work + st.app.IOTime(s.p, st.idx)
+	if inst.Volume <= 0 {
+		// No I/O in this instance; move on immediately.
+		s.completeInstance(st)
+		return
+	}
+	st.ioStart = s.now
+	if s.cfg.RequestLatency > 0 {
+		st.phase = requesting
+		st.until = s.now + s.cfg.RequestLatency
+		return
+	}
+	s.beginIO(st)
+}
+
+func (s *simulation) beginIO(st *appState) {
+	st.phase = doingIO
+	st.view.Phase = core.Pending
+	st.view.RemVolume = st.app.Instances[st.idx].Volume
+	st.view.Started = false
+	st.view.PendingSince = s.now
+	st.until = math.Inf(1)
+}
+
+// completeIO finishes the current transfer.
+func (s *simulation) completeIO(st *appState) {
+	st.view.RemVolume = 0
+	st.view.Started = false
+	st.view.LastIOEnd = s.now
+	st.ioTime += s.now - st.ioStart
+	st.bw = 0
+	s.completeInstance(st)
+}
+
+// completeInstance advances to the next instance or finishes the app.
+func (s *simulation) completeInstance(st *appState) {
+	st.idx++
+	if st.idx >= len(st.app.Instances) {
+		st.phase = finished
+		st.view.Phase = core.Finished
+		st.finish = s.now
+		st.until = math.Inf(1)
+		return
+	}
+	s.beginCompute(st)
+}
+
+// nextEventTime returns the earliest future event: a phase deadline, an I/O
+// completion at current rates, a burst-buffer fill crossing, or a
+// scheduler-requested wake-up.
+func (s *simulation) nextEventTime() float64 {
+	next := math.Inf(1)
+	for _, st := range s.apps {
+		switch st.phase {
+		case notReleased, computing, requesting:
+			if st.until < next {
+				next = st.until
+			}
+		case doingIO:
+			if st.bw > 0 {
+				t := s.now + st.view.RemVolume/st.bw
+				if t < next {
+					next = t
+				}
+			}
+		}
+	}
+	if t, ok := s.bbFillTime(); ok && t < next {
+		next = t
+	}
+	if t, ok := s.schedulerWake(); ok && t > s.now && t < next {
+		next = t
+	}
+	if next < s.now {
+		next = s.now
+	}
+	return next
+}
+
+// schedulerWake asks a Waker scheduler for its next self-chosen decision
+// point.
+func (s *simulation) schedulerWake() (float64, bool) {
+	w, ok := s.cfg.Scheduler.(core.Waker)
+	if !ok {
+		return 0, false
+	}
+	var want []*core.AppView
+	for _, st := range s.apps {
+		if st.phase == doingIO && st.view.RemVolume > volEps {
+			want = append(want, &st.view)
+		}
+	}
+	if len(want) == 0 {
+		return 0, false
+	}
+	return w.NextWake(s.now, want)
+}
+
+// bbFillTime returns the time the burst buffer becomes full at current
+// rates, if it is filling.
+func (s *simulation) bbFillTime() (float64, bool) {
+	if s.buffer == nil {
+		return 0, false
+	}
+	dt, ok := s.buffer.TimeToFull(s.inflow())
+	return s.now + dt, ok
+}
+
+// inflow returns the aggregate granted write bandwidth.
+func (s *simulation) inflow() float64 {
+	total := 0.0
+	for _, st := range s.apps {
+		if st.phase == doingIO {
+			total += st.bw
+		}
+	}
+	return total
+}
+
+// advanceTo integrates state from now to t at the current constant rates.
+func (s *simulation) advanceTo(t float64) {
+	dt := t - s.now
+	if dt < 0 {
+		panic(fmt.Sprintf("sim: time going backwards: %g -> %g", s.now, t))
+	}
+	if tr := s.cfg.Trace; tr != nil && dt > 0 {
+		for _, st := range s.apps {
+			if st.phase == notReleased || st.phase == finished {
+				continue
+			}
+			phase := core.Computing
+			if st.phase == doingIO {
+				if st.bw > 0 {
+					phase = core.Transferring
+				} else {
+					phase = core.Pending
+				}
+			}
+			tr.record(st.app.ID, s.now, t, phase, st.bw)
+		}
+	}
+	for _, st := range s.apps {
+		if st.phase == doingIO && st.bw > 0 {
+			st.view.RemVolume -= st.bw * dt
+			if st.view.RemVolume < 0 {
+				st.view.RemVolume = 0
+			}
+		}
+	}
+	if s.buffer != nil {
+		s.buffer.Advance(dt, s.inflow())
+	}
+	s.now = t
+}
+
+// fireDue applies all state transitions due at the current instant.
+func (s *simulation) fireDue() {
+	for _, st := range s.apps {
+		switch st.phase {
+		case notReleased:
+			if st.until <= s.now+timeEps {
+				s.beginCompute(st)
+				// beginCompute may complete zero-work phases
+				// recursively; nothing else to do here.
+			}
+		case computing:
+			if st.until <= s.now+timeEps {
+				s.completeCompute(st)
+			}
+		case requesting:
+			if st.until <= s.now+timeEps {
+				s.beginIO(st)
+			}
+		case doingIO:
+			if st.view.RemVolume <= volEps {
+				s.completeIO(st)
+			}
+		}
+	}
+}
+
+// capacity returns what the scheduler may allocate right now.
+func (s *simulation) capacity() core.Capacity {
+	c := core.Capacity{TotalBW: s.p.TotalBW, NodeBW: s.p.NodeBW}
+	if s.buffer != nil {
+		c.TotalBW = s.buffer.IngestCapacity()
+	}
+	return c
+}
+
+// reallocate asks the scheduler for new grants and applies them.
+func (s *simulation) reallocate() {
+	var want []*core.AppView
+	states := make(map[int]*appState)
+	for _, st := range s.apps {
+		if st.phase == doingIO && st.view.RemVolume > volEps {
+			want = append(want, &st.view)
+			states[st.view.ID] = st
+		}
+	}
+	if len(want) == 0 {
+		return
+	}
+	cap := s.capacity()
+	grants := s.cfg.Scheduler.Allocate(s.now, want, cap)
+	s.decisions++
+	if s.cfg.CheckGrants {
+		if err := core.ValidateGrants(grants, want, cap); err != nil {
+			panic(fmt.Sprintf("sim: scheduler %s: %v", s.cfg.Scheduler.Name(), err))
+		}
+	}
+	granted := make(map[int]float64, len(grants))
+	for _, g := range grants {
+		granted[g.AppID] = g.BW
+	}
+	for id, st := range states {
+		bw := granted[id]
+		st.bw = bw
+		if bw > 0 {
+			st.view.Phase = core.Transferring
+			st.view.Started = true
+		} else {
+			if st.view.Phase == core.Transferring {
+				// Preempted: the stall clock restarts now.
+				st.view.PendingSince = s.now
+			}
+			st.view.Phase = core.Pending
+		}
+	}
+}
+
+func (s *simulation) collect() *Result {
+	res := &Result{
+		Events:    s.events,
+		Decisions: s.decisions,
+	}
+	if s.buffer != nil {
+		res.BBPeakLevel = s.buffer.Peak()
+		res.BBFullTime = s.buffer.FullTime()
+	}
+	for _, st := range s.apps {
+		res.Apps = append(res.Apps, metrics.AppPerf{
+			ID:        st.app.ID,
+			Name:      st.app.Name,
+			Nodes:     st.app.Nodes,
+			Release:   st.app.Release,
+			Finish:    st.finish,
+			Work:      st.app.TotalWork(),
+			IdealTime: st.app.DedicatedTime(s.p),
+			IOTime:    st.ioTime,
+			Volume:    st.app.TotalVolume(),
+		})
+	}
+	res.Summary = metrics.Summarize(res.Apps, s.p.Nodes)
+	return res
+}

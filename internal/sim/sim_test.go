@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// testPlatform returns a small machine: 100 nodes, b = 1 GiB/s per node,
+// B = 10 GiB/s.
+func testPlatform() *platform.Platform {
+	return &platform.Platform{
+		Name:    "test",
+		Nodes:   100,
+		NodeBW:  1,
+		TotalBW: 10,
+	}
+}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleAppDedicated(t *testing.T) {
+	p := testPlatform()
+	// One app on 20 nodes: cap = min(20*1, 10) = 10 GiB/s.
+	// 3 instances of 100 s work + 50 GiB -> time_io = 5 s each.
+	app := platform.NewPeriodic(0, 20, 100, 50, 3)
+	res, err := Run(Config{
+		Platform:    p,
+		Scheduler:   core.MaxSysEff(),
+		Apps:        []*platform.App{app},
+		CheckGrants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * (100 + 5.0)
+	if got := res.Apps[0].Finish; !almostEqual(got, want, 1e-6) {
+		t.Errorf("finish = %g, want %g", got, want)
+	}
+	if d := res.Summary.Dilation; !almostEqual(d, 1, 1e-9) {
+		t.Errorf("dilation = %g, want 1 (no congestion)", d)
+	}
+	// SysEfficiency = 100 * 20/100 * rho, rho = 300/315.
+	wantEff := 100 * 0.2 * (300.0 / 315.0)
+	if got := res.Summary.SysEfficiency; !almostEqual(got, wantEff, 1e-6) {
+		t.Errorf("sys efficiency = %g, want %g", got, wantEff)
+	}
+	if !almostEqual(res.Summary.SysEfficiency, res.Summary.UpperLimit, 1e-9) {
+		t.Errorf("dedicated run should reach its upper limit: %g vs %g",
+			res.Summary.SysEfficiency, res.Summary.UpperLimit)
+	}
+}
+
+func TestTwoAppsContendExclusively(t *testing.T) {
+	p := testPlatform()
+	// Two identical apps, each capped at B alone (20 nodes): only one can
+	// transfer at a time under a greedy heuristic. Both finish compute at
+	// t=100 and need 5 s of dedicated I/O.
+	a0 := platform.NewPeriodic(0, 20, 100, 50, 1)
+	a1 := platform.NewPeriodic(1, 20, 100, 50, 1)
+	res, err := Run(Config{
+		Platform:    p,
+		Scheduler:   core.RoundRobin(),
+		Apps:        []*platform.App{a0, a1},
+		CheckGrants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy: one app gets the full 10 GiB/s and finishes at 105, the
+	// other is stalled and finishes at 110.
+	finishes := []float64{res.Apps[0].Finish, res.Apps[1].Finish}
+	lo, hi := math.Min(finishes[0], finishes[1]), math.Max(finishes[0], finishes[1])
+	if !almostEqual(lo, 105, 1e-6) || !almostEqual(hi, 110, 1e-6) {
+		t.Errorf("finishes = %v, want {105, 110}", finishes)
+	}
+	if d := res.Summary.Dilation; !almostEqual(d, 110.0/105.0, 1e-6) {
+		t.Errorf("dilation = %g, want %g", d, 110.0/105.0)
+	}
+}
+
+func TestFairShareSplitsBandwidth(t *testing.T) {
+	p := testPlatform()
+	a0 := platform.NewPeriodic(0, 20, 100, 50, 1)
+	a1 := platform.NewPeriodic(1, 20, 100, 50, 1)
+	res, err := Run(Config{
+		Platform:    p,
+		Scheduler:   core.FairShare{},
+		Apps:        []*platform.App{a0, a1},
+		CheckGrants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fair share: both get 5 GiB/s, both finish at 100 + 10 = 110.
+	for i, a := range res.Apps {
+		if !almostEqual(a.Finish, 110, 1e-6) {
+			t.Errorf("app %d finish = %g, want 110", i, a.Finish)
+		}
+	}
+}
+
+func TestVolumeConservation(t *testing.T) {
+	p := testPlatform()
+	apps := []*platform.App{
+		platform.NewPeriodic(0, 30, 50, 20, 4),
+		platform.NewPeriodic(1, 10, 80, 35, 3),
+		platform.NewPeriodic(2, 25, 20, 10, 6),
+	}
+	for _, sched := range []core.Scheduler{
+		core.MaxSysEff(), core.MinDilation(), core.RoundRobin(),
+		core.MinMax(0.5), core.FairShare{}, core.Exclusive{},
+	} {
+		res, err := Run(Config{
+			Platform:    p,
+			Scheduler:   sched,
+			Apps:        apps,
+			CheckGrants: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		for i, a := range res.Apps {
+			if a.Volume != apps[i].TotalVolume() {
+				t.Errorf("%s: app %d volume %g, want %g", sched.Name(), i, a.Volume, apps[i].TotalVolume())
+			}
+			if a.Finish < a.Release+apps[i].DedicatedTime(p)-1e-6 {
+				t.Errorf("%s: app %d finished at %g, before dedicated bound %g",
+					sched.Name(), i, a.Finish, apps[i].DedicatedTime(p))
+			}
+		}
+		if res.Summary.Dilation < 1-1e-9 {
+			t.Errorf("%s: dilation %g < 1", sched.Name(), res.Summary.Dilation)
+		}
+		if res.Summary.SysEfficiency > res.Summary.UpperLimit+1e-6 {
+			t.Errorf("%s: sys efficiency %g exceeds upper limit %g",
+				sched.Name(), res.Summary.SysEfficiency, res.Summary.UpperLimit)
+		}
+	}
+}
+
+func TestBurstBufferAbsorbsBurst(t *testing.T) {
+	p := testPlatform()
+	p.BurstBuffer = &platform.BurstBuffer{Capacity: 1000, IngestBW: 40}
+	// Two 20-node apps bursting simultaneously: without BB they share
+	// B = 10; with a BB of ingest 40 they both write at their card limit
+	// (20 GiB/s each) and never stall.
+	a0 := platform.NewPeriodic(0, 20, 100, 50, 1)
+	a1 := platform.NewPeriodic(1, 20, 100, 50, 1)
+	res, err := Run(Config{
+		Platform:    p,
+		Scheduler:   core.FairShare{},
+		Apps:        []*platform.App{a0, a1},
+		UseBB:       true,
+		CheckGrants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each app's card limit is 20 GiB/s; fair share of 40 GiB/s ingest
+	// gives each 20 GiB/s -> 2.5 s to stage 50 GiB; both finish at 102.5.
+	for i, a := range res.Apps {
+		if !almostEqual(a.Finish, 102.5, 1e-6) {
+			t.Errorf("app %d finish = %g, want 102.5", i, a.Finish)
+		}
+	}
+	if res.BBPeakLevel <= 0 {
+		t.Error("burst buffer never filled at all")
+	}
+}
+
+func TestBurstBufferFullFallsBackToDrainRate(t *testing.T) {
+	p := testPlatform()
+	// Tiny BB: 20 GiB capacity. Apps need 100 GiB total; once the buffer
+	// is full the apps are limited to the 10 GiB/s drain rate.
+	p.BurstBuffer = &platform.BurstBuffer{Capacity: 20, IngestBW: 40}
+	a0 := platform.NewPeriodic(0, 20, 100, 50, 1)
+	a1 := platform.NewPeriodic(1, 20, 100, 50, 1)
+	res, err := Run(Config{
+		Platform:    p,
+		Scheduler:   core.FairShare{},
+		Apps:        []*platform.App{a0, a1},
+		UseBB:       true,
+		CheckGrants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: ingest 40, drain 10, net 30 -> buffer full at t=100+20/30.
+	// Staged so far: 40*(2/3) GiB total. Remaining (100 - 26.67) GiB
+	// drains at 10 GiB/s shared.
+	tFull := 100 + 20.0/30.0
+	remaining := 100 - 40*(20.0/30.0)
+	want := tFull + remaining/10
+	for i, a := range res.Apps {
+		if !almostEqual(a.Finish, want, 1e-4) {
+			t.Errorf("app %d finish = %g, want %g", i, a.Finish, want)
+		}
+	}
+	if res.BBFullTime <= 0 {
+		t.Error("burst buffer never reported full time")
+	}
+}
+
+func TestReleaseStagger(t *testing.T) {
+	p := testPlatform()
+	a0 := platform.NewPeriodic(0, 20, 10, 20, 2)
+	a1 := platform.NewPeriodic(1, 20, 10, 20, 2)
+	a1.Release = 500 // long after a0 is done
+	res, err := Run(Config{
+		Platform:    p,
+		Scheduler:   core.MaxSysEff(),
+		Apps:        []*platform.App{a0, a1},
+		CheckGrants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both run effectively alone: 2*(10+2) = 24 s each.
+	if !almostEqual(res.Apps[0].Finish, 24, 1e-6) {
+		t.Errorf("app 0 finish = %g, want 24", res.Apps[0].Finish)
+	}
+	if !almostEqual(res.Apps[1].Finish, 524, 1e-6) {
+		t.Errorf("app 1 finish = %g, want 524", res.Apps[1].Finish)
+	}
+	if d := res.Summary.Dilation; !almostEqual(d, 1, 1e-9) {
+		t.Errorf("dilation = %g, want 1", d)
+	}
+}
+
+func TestRequestLatencyAddsOverhead(t *testing.T) {
+	p := testPlatform()
+	app := platform.NewPeriodic(0, 20, 100, 50, 3)
+	base, err := Run(Config{Platform: p, Scheduler: core.MaxSysEff(), Apps: []*platform.App{app}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := Run(Config{
+		Platform:       p,
+		Scheduler:      core.MaxSysEff(),
+		Apps:           []*platform.App{app.CloneWithID(0)},
+		RequestLatency: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Apps[0].Finish + 3 // one second per instance
+	if got := delayed.Apps[0].Finish; !almostEqual(got, want, 1e-6) {
+		t.Errorf("finish with latency = %g, want %g", got, want)
+	}
+}
+
+func TestZeroVolumeInstances(t *testing.T) {
+	p := testPlatform()
+	app := &platform.App{
+		ID: 0, Name: "mixed", Nodes: 10,
+		Instances: []platform.Instance{
+			{Work: 10, Volume: 0},
+			{Work: 5, Volume: 10},
+			{Work: 0, Volume: 10},
+		},
+	}
+	res, err := Run(Config{
+		Platform:    p,
+		Scheduler:   core.MaxSysEff(),
+		Apps:        []*platform.App{app},
+		CheckGrants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cap = min(10*1, 10) = 10 -> 1 s per 10 GiB.
+	want := 10 + 5 + 1 + 0 + 1.0
+	if got := res.Apps[0].Finish; !almostEqual(got, want, 1e-6) {
+		t.Errorf("finish = %g, want %g", got, want)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	p := testPlatform()
+	app := platform.NewPeriodic(0, 20, 10, 10, 1)
+	if _, err := Run(Config{Platform: p, Apps: []*platform.App{app}}); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	if _, err := Run(Config{Platform: p, Scheduler: core.MaxSysEff(), Apps: nil}); err == nil {
+		t.Error("empty app list accepted")
+	}
+	if _, err := Run(Config{Platform: p, Scheduler: core.MaxSysEff(),
+		Apps: []*platform.App{app}, UseBB: true}); err == nil {
+		t.Error("UseBB without burst buffer accepted")
+	}
+	big := platform.NewPeriodic(0, 1000, 10, 10, 1)
+	if _, err := Run(Config{Platform: p, Scheduler: core.MaxSysEff(),
+		Apps: []*platform.App{big}}); err == nil {
+		t.Error("oversubscribed node demand accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := testPlatform()
+	apps := func() []*platform.App {
+		return []*platform.App{
+			platform.NewPeriodic(0, 30, 50, 20, 4),
+			platform.NewPeriodic(1, 10, 80, 35, 3),
+			platform.NewPeriodic(2, 25, 20, 10, 6),
+		}
+	}
+	r1, err := Run(Config{Platform: p, Scheduler: core.MinDilation(), Apps: apps()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(Config{Platform: p, Scheduler: core.MinDilation(), Apps: apps()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Apps {
+		if r1.Apps[i].Finish != r2.Apps[i].Finish {
+			t.Errorf("app %d finish differs across identical runs: %g vs %g",
+				i, r1.Apps[i].Finish, r2.Apps[i].Finish)
+		}
+	}
+	if r1.Events != r2.Events || r1.Decisions != r2.Decisions {
+		t.Errorf("event/decision counts differ: (%d,%d) vs (%d,%d)",
+			r1.Events, r1.Decisions, r2.Events, r2.Decisions)
+	}
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// TestTimeoutWrapperShortensStalls drives a starvation-prone workload and
+// checks the Timeout wrapper reduces the longest stall the trace records.
+func TestTimeoutWrapperShortensStalls(t *testing.T) {
+	p := testPlatform() // B = 10, b = 1
+	// A big app whose transfers occupy the whole file system for 30 s at
+	// a time, next to small apps with short compute phases: whenever the
+	// big app is favored the small ones stall for most of its transfer.
+	// The small apps' card bandwidths sum past B and their duty cycle
+	// keeps at least two of them transferring almost always, so the big
+	// app (large β·ρ̃ early on) is starved until its efficiency decays.
+	mkApps := func() []*platform.App {
+		return []*platform.App{
+			platform.NewPeriodic(0, 40, 2, 300, 4),
+			platform.NewPeriodic(1, 5, 2, 25, 25),
+			platform.NewPeriodic(2, 5, 2, 25, 25),
+			platform.NewPeriodic(3, 5, 2, 25, 25),
+		}
+	}
+	longest := func(sched core.Scheduler) float64 {
+		tr := &Trace{}
+		if _, err := Run(Config{
+			Platform:  p,
+			Scheduler: sched,
+			Apps:      mkApps(),
+			Trace:     tr,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		max := 0.0
+		for _, s := range tr.Segments {
+			if s.Phase == core.Pending {
+				if d := s.End - s.Start; d > max {
+					max = d
+				}
+			}
+		}
+		return max
+	}
+	plain := longest(core.MaxSysEff())
+	bounded := longest(core.NewTimeout(core.MaxSysEff(), 10))
+	if plain <= 10 {
+		t.Skipf("workload not starvation-prone enough (longest stall %g)", plain)
+	}
+	if bounded >= plain {
+		t.Errorf("timeout wrapper did not shorten the longest stall: %g >= %g", bounded, plain)
+	}
+}

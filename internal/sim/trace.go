@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// Trace records what every application was doing over time: compute,
+// transferring (at which bandwidth), or stalled waiting for bandwidth.
+// Attach one to Config.Trace to visualize a run (see report.RenderGantt).
+type Trace struct {
+	Segments []Segment
+}
+
+// Segment is a maximal interval during which one application's phase and
+// bandwidth were constant.
+type Segment struct {
+	AppID int
+	Start float64
+	End   float64
+	Phase core.Phase
+	BW    float64
+}
+
+// record appends the interval [t0, t1) for one application, merging with
+// the previous segment when nothing changed.
+func (tr *Trace) record(appID int, t0, t1 float64, phase core.Phase, bw float64) {
+	if t1 <= t0 {
+		return
+	}
+	if n := len(tr.Segments); n > 0 {
+		last := &tr.Segments[n-1]
+		if last.AppID == appID && last.End == t0 && last.Phase == phase && last.BW == bw {
+			last.End = t1
+			return
+		}
+	}
+	tr.Segments = append(tr.Segments, Segment{AppID: appID, Start: t0, End: t1, Phase: phase, BW: bw})
+}
+
+// Span returns the trace's time extent.
+func (tr *Trace) Span() (t0, t1 float64) {
+	if len(tr.Segments) == 0 {
+		return 0, 0
+	}
+	t0, t1 = tr.Segments[0].Start, tr.Segments[0].End
+	for _, s := range tr.Segments[1:] {
+		if s.Start < t0 {
+			t0 = s.Start
+		}
+		if s.End > t1 {
+			t1 = s.End
+		}
+	}
+	return t0, t1
+}
+
+// GanttRows converts the trace into report rows: '#' compute, '=' transfer,
+// '.' stalled. Rows appear in ascending application order.
+func (tr *Trace) GanttRows(names map[int]string) []report.GanttRow {
+	byApp := map[int][]report.GanttSpan{}
+	var order []int
+	for _, s := range tr.Segments {
+		glyph := '#'
+		switch {
+		case s.Phase == core.Pending:
+			glyph = '.'
+		case s.Phase == core.Transferring && s.BW > 0:
+			glyph = '='
+		case s.Phase == core.Transferring:
+			glyph = '.'
+		}
+		if _, seen := byApp[s.AppID]; !seen {
+			order = append(order, s.AppID)
+		}
+		byApp[s.AppID] = append(byApp[s.AppID], report.GanttSpan{
+			Start: s.Start, End: s.End, Glyph: glyph,
+		})
+	}
+	// Ascending app IDs for stable output.
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if order[j] < order[i] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	rows := make([]report.GanttRow, 0, len(order))
+	for _, id := range order {
+		label := names[id]
+		if label == "" {
+			label = "app-" + strconv.Itoa(id)
+		}
+		rows = append(rows, report.GanttRow{Label: label, Spans: byApp[id]})
+	}
+	return rows
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/report"
+)
+
+func TestTraceRecordsPhases(t *testing.T) {
+	p := testPlatform()
+	// Two 20-node apps: under a greedy heuristic one transfers while the
+	// other stalls, so the trace must contain all three phases.
+	apps := []*platform.App{
+		platform.NewPeriodic(0, 20, 100, 50, 2),
+		platform.NewPeriodic(1, 20, 100, 50, 2),
+	}
+	tr := &Trace{}
+	if _, err := Run(Config{
+		Platform:  p,
+		Scheduler: core.RoundRobin(),
+		Apps:      apps,
+		Trace:     tr,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Segments) == 0 {
+		t.Fatal("empty trace")
+	}
+	phases := map[core.Phase]bool{}
+	for _, s := range tr.Segments {
+		if s.End <= s.Start {
+			t.Errorf("degenerate segment %+v", s)
+		}
+		phases[s.Phase] = true
+	}
+	for _, want := range []core.Phase{core.Computing, core.Transferring, core.Pending} {
+		if !phases[want] {
+			t.Errorf("trace missing phase %v", want)
+		}
+	}
+	// Per-app coverage: segments of one app must tile [release, finish)
+	// without overlap.
+	for id := 0; id < 2; id++ {
+		var last float64
+		for _, s := range tr.Segments {
+			if s.AppID != id {
+				continue
+			}
+			if s.Start < last-1e-9 {
+				t.Errorf("app %d: segment %+v overlaps previous end %g", id, s, last)
+			}
+			last = s.End
+		}
+	}
+	t0, t1 := tr.Span()
+	if t0 != 0 || t1 <= 0 {
+		t.Errorf("span = [%g, %g)", t0, t1)
+	}
+}
+
+func TestTraceVolumeConsistency(t *testing.T) {
+	p := testPlatform()
+	apps := []*platform.App{
+		platform.NewPeriodic(0, 20, 50, 30, 3),
+		platform.NewPeriodic(1, 15, 70, 25, 2),
+	}
+	tr := &Trace{}
+	if _, err := Run(Config{
+		Platform:  p,
+		Scheduler: core.MaxSysEff(),
+		Apps:      apps,
+		Trace:     tr,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Integrating bandwidth over the trace must recover each app's
+	// total transferred volume.
+	moved := map[int]float64{}
+	for _, s := range tr.Segments {
+		moved[s.AppID] += s.BW * (s.End - s.Start)
+	}
+	for i, a := range apps {
+		if want := a.TotalVolume(); math.Abs(moved[i]-want) > 1e-6 {
+			t.Errorf("app %d: trace moves %g GiB, want %g", i, moved[i], want)
+		}
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	p := testPlatform()
+	apps := []*platform.App{
+		platform.NewPeriodic(0, 20, 100, 50, 2),
+		platform.NewPeriodic(1, 20, 100, 50, 2),
+	}
+	tr := &Trace{}
+	if _, err := Run(Config{
+		Platform:  p,
+		Scheduler: core.RoundRobin(),
+		Apps:      apps,
+		Trace:     tr,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows := tr.GanttRows(map[int]string{0: "alpha", 1: "beta"})
+	if len(rows) != 2 || rows[0].Label != "alpha" || rows[1].Label != "beta" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	t0, t1 := tr.Span()
+	var sb strings.Builder
+	if err := report.RenderGantt(&sb, rows, t0, t1, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, glyph := range []string{"#", "=", "."} {
+		if !strings.Contains(out, glyph) {
+			t.Errorf("gantt missing %q glyph:\n%s", glyph, out)
+		}
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Errorf("gantt missing labels:\n%s", out)
+	}
+}
+
+func TestRenderGanttErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := report.RenderGantt(&sb, nil, 5, 5, 40); err == nil {
+		t.Error("empty span accepted")
+	}
+}

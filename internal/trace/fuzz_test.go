@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the trace reader never panics and that everything it
+// accepts round-trips through the writer.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Write(&seed, sampleRecords()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("")
+	f.Add("{}\n")
+	f.Add(`{"job_id":1,"app":"x","nodes":4,"start":0,"end":1}` + "\n")
+	f.Add("{not json}\n")
+	f.Add(`{"job_id":1,"nodes":-1}` + "\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // malformed input must error, not panic
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, recs); err != nil {
+			t.Fatalf("accepted records failed to serialize: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+func sampleRecords() []JobRecord {
+	return []JobRecord{
+		{JobID: 1, App: "s3d", Nodes: 2048, Start: 0, End: 5000,
+			BytesWritten: 900, Instances: 9, WorkPerInstance: 500, VolumePerInstance: 100},
+		{JobID: 2, App: "homme", Nodes: 512, Start: 1000, End: 4000,
+			BytesWritten: 300, Instances: 6, WorkPerInstance: 400, VolumePerInstance: 50},
+		{JobID: 3, App: "gtc", Nodes: 4096, Start: 2000, End: 9000,
+			BytesWritten: 2000, Instances: 10, WorkPerInstance: 600, VolumePerInstance: 200},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, got) {
+		t.Errorf("round trip mismatch:\nwant %+v\ngot  %+v", recs, got)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+	bad := `{"job_id":1,"app":"x","nodes":-5,"start":0,"end":10}` + "\n"
+	if _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Error("invalid record accepted")
+	}
+}
+
+func TestReadSkipsEmptyLines(t *testing.T) {
+	recs := sampleRecords()[:1]
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	in := "\n" + buf.String() + "\n\n"
+	got, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("got %d records, want 1", len(got))
+	}
+}
+
+func TestToAppFromAppRoundTrip(t *testing.T) {
+	rec := sampleRecords()[0]
+	app := rec.ToApp(7)
+	if app.Nodes != rec.Nodes || app.Release != rec.Start {
+		t.Errorf("ToApp lost basic fields: %+v", app)
+	}
+	if len(app.Instances) != rec.Instances {
+		t.Errorf("instances = %d, want %d", len(app.Instances), rec.Instances)
+	}
+	back := FromApp(app, rec.JobID, rec.End)
+	if math.Abs(back.WorkPerInstance-rec.WorkPerInstance) > 1e-9 ||
+		math.Abs(back.VolumePerInstance-rec.VolumePerInstance) > 1e-9 {
+		t.Errorf("FromApp pattern mismatch: %+v vs %+v", back, rec)
+	}
+	if math.Abs(back.BytesWritten-float64(rec.Instances)*rec.VolumePerInstance) > 1e-9 {
+		t.Errorf("FromApp bytes = %g", back.BytesWritten)
+	}
+}
+
+func TestCoverageSubset(t *testing.T) {
+	// A larger population so a 50% node-hour subset is a strict subset.
+	var recs []JobRecord
+	for i := 0; i < 50; i++ {
+		recs = append(recs, JobRecord{
+			JobID: i, App: "x", Nodes: 256 + 16*i, Start: 0, End: 1000,
+			BytesWritten: 10, Instances: 2, WorkPerInstance: 450, VolumePerInstance: 5,
+		})
+	}
+	nodeHours := func(rs []JobRecord) float64 {
+		var s float64
+		for _, r := range rs {
+			s += float64(r.Nodes) * (r.End - r.Start)
+		}
+		return s
+	}
+	half := CoverageSubset(recs, 0.5, 1)
+	if len(half) == 0 || len(half) >= len(recs) {
+		t.Errorf("coverage subset has %d of %d records", len(half), len(recs))
+	}
+	frac := nodeHours(half) / nodeHours(recs)
+	if frac < 0.5 || frac > 0.6 {
+		t.Errorf("subset covers %.2f of node-hours, want about 0.5", frac)
+	}
+	all := CoverageSubset(recs, 1.0, 1)
+	if len(all) != len(recs) {
+		t.Errorf("full coverage returned %d of %d", len(all), len(recs))
+	}
+}
+
+func TestCoverageSubsetDeterministic(t *testing.T) {
+	recs := sampleRecords()
+	a := CoverageSubset(recs, 0.5, 42)
+	b := CoverageSubset(recs, 0.5, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different subsets")
+	}
+}
+
+func TestFindCongestedWindows(t *testing.T) {
+	p := platform.Intrepid()
+	// Two heavy overlapping jobs saturate the file system during their
+	// overlap [2000, 5000); a light job elsewhere does not.
+	recs := []JobRecord{
+		{JobID: 1, App: "a", Nodes: 8192, Start: 0, End: 5000,
+			BytesWritten: 40000, Instances: 10, WorkPerInstance: 400, VolumePerInstance: 4000},
+		{JobID: 2, App: "b", Nodes: 8192, Start: 2000, End: 8000,
+			BytesWritten: 48000, Instances: 10, WorkPerInstance: 500, VolumePerInstance: 4800},
+		{JobID: 3, App: "c", Nodes: 128, Start: 9000, End: 10000,
+			BytesWritten: 1, Instances: 2, WorkPerInstance: 450, VolumePerInstance: 0.5},
+	}
+	wins := FindCongestedWindows(recs, p, 1.0)
+	if len(wins) != 1 {
+		t.Fatalf("got %d windows, want 1: %+v", len(wins), wins)
+	}
+	w := wins[0]
+	if w.Start != 2000 || w.End != 5000 {
+		t.Errorf("window = [%g, %g), want [2000, 5000)", w.Start, w.End)
+	}
+	if !reflect.DeepEqual(w.Jobs, []int{0, 1}) {
+		t.Errorf("window jobs = %v, want [0 1]", w.Jobs)
+	}
+	if w.PeakDemand <= p.TotalBW {
+		t.Errorf("peak demand %g should exceed B = %g", w.PeakDemand, p.TotalBW)
+	}
+}
+
+func TestFindCongestedWindowsNone(t *testing.T) {
+	p := platform.Intrepid()
+	recs := []JobRecord{
+		{JobID: 1, App: "a", Nodes: 128, Start: 0, End: 1000,
+			BytesWritten: 1, Instances: 2, WorkPerInstance: 450, VolumePerInstance: 0.5},
+	}
+	if wins := FindCongestedWindows(recs, p, 1.0); len(wins) != 0 {
+		t.Errorf("got %d windows, want 0", len(wins))
+	}
+}
+
+// TestRoundTripQuick round-trips randomized records through the codec.
+func TestRoundTripQuick(t *testing.T) {
+	bound := func(x float64, lim float64) float64 {
+		x = math.Abs(x)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 1
+		}
+		return math.Mod(x, lim)
+	}
+	f := func(jobID int, nodes uint16, start, dur, w, v float64) bool {
+		rec := JobRecord{
+			JobID: jobID & 0xffff, App: "q", Nodes: int(nodes%8192) + 1,
+			Start: bound(start, 1e6), Instances: 3,
+			WorkPerInstance:   bound(w, 1e5),
+			VolumePerInstance: bound(v, 1e5),
+		}
+		rec.End = rec.Start + bound(dur, 1e6)
+		rec.BytesWritten = 3 * rec.VolumePerInstance
+		var buf bytes.Buffer
+		if err := Write(&buf, []JobRecord{rec}); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		return got[0] == rec
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

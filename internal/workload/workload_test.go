@@ -1,0 +1,301 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+func TestCategorize(t *testing.T) {
+	cases := []struct {
+		nodes int
+		want  Category
+	}{
+		{1, Small}, {1284, Small}, {1285, Large}, {4584, Large}, {4585, VeryLarge},
+	}
+	for _, c := range cases {
+		if got := Categorize(c.nodes); got != c.want {
+			t.Errorf("Categorize(%d) = %v, want %v", c.nodes, got, c.want)
+		}
+	}
+}
+
+func TestNodeRangeMatchesCategory(t *testing.T) {
+	for _, c := range []Category{Small, Large, VeryLarge} {
+		lo, hi := NodeRange(c)
+		if Categorize(lo) != c || Categorize(hi) != c {
+			t.Errorf("%v range [%d,%d] leaks into other categories", c, lo, hi)
+		}
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	cfg := Config{
+		Platform: platform.Intrepid(),
+		Seed:     1,
+		Specs:    []Spec{{Count: 10, Category: Large}},
+		IORatio:  0.2,
+	}
+	apps, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 10 {
+		t.Fatalf("got %d apps, want 10", len(apps))
+	}
+	if err := platform.ValidateApps(cfg.Platform, apps); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range apps {
+		if !a.IsPeriodic() {
+			t.Errorf("app %d not periodic with zero sensibility", a.ID)
+		}
+		if len(a.Instances) < 3 {
+			t.Errorf("app %d has %d instances, want >= 3", a.ID, len(a.Instances))
+		}
+	}
+}
+
+func TestGenerateIORatioCalibration(t *testing.T) {
+	p := platform.Intrepid()
+	cfg := Config{
+		Platform:      p,
+		Seed:          2,
+		Specs:         []Spec{{Count: 30, Category: Large}},
+		IORatio:       0.25,
+		IORatioSpread: 1e-9, // pin the ratio
+		Fill:          3.0,  // allow oversubscription scaling to kick in? No: keep within machine
+	}
+	cfg.Fill = 1.0
+	apps, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range apps {
+		w := a.Instances[0].Work
+		tio := a.IOTime(p, 0)
+		ratio := tio / w
+		if math.Abs(ratio-0.25) > 0.01 {
+			t.Errorf("app %d: time_io/w = %g, want 0.25", a.ID, ratio)
+		}
+	}
+}
+
+func TestGenerateSensibility(t *testing.T) {
+	cfg := Config{
+		Platform: platform.Intrepid(),
+		Seed:     3,
+		Specs:    []Spec{{Count: 5, Category: Small}},
+		IORatio:  0.2,
+		SensW:    0.3,
+	}
+	apps, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range apps {
+		minW, maxW := math.Inf(1), 0.0
+		for _, in := range a.Instances {
+			minW = math.Min(minW, in.Work)
+			maxW = math.Max(maxW, in.Work)
+		}
+		if maxW/minW > 1.3+1e-9 {
+			t.Errorf("app %d work spread %g exceeds sensibility bound", a.ID, maxW/minW)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Fig6Config(Fig6B, 99)
+	a1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i].Nodes != a2[i].Nodes || a1[i].Release != a2[i].Release ||
+			len(a1[i].Instances) != len(a2[i].Instances) {
+			t.Fatalf("same seed generated different mixes at app %d", i)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Generate(Config{Platform: platform.Intrepid()}); err == nil {
+		t.Error("no specs accepted")
+	}
+	if _, err := Generate(Config{Platform: platform.Intrepid(),
+		Specs: []Spec{{Count: 1, Category: Small}}}); err == nil {
+		t.Error("zero IORatio accepted")
+	}
+}
+
+func TestFig6Configs(t *testing.T) {
+	for _, kind := range []Fig6Kind{Fig6A, Fig6B, Fig6C} {
+		cfg := Fig6Config(kind, 1)
+		apps, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := platform.ValidateApps(cfg.Platform, apps); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		switch kind {
+		case Fig6A:
+			if len(apps) != 10 {
+				t.Errorf("%v: %d apps, want 10", kind, len(apps))
+			}
+		default:
+			if len(apps) != 55 {
+				t.Errorf("%v: %d apps, want 55", kind, len(apps))
+			}
+		}
+	}
+}
+
+func TestMomentsFitAndCongest(t *testing.T) {
+	moments := IntrepidMoments(8, 42)
+	if len(moments) != 8 {
+		t.Fatalf("got %d moments, want 8", len(moments))
+	}
+	congested := 0
+	for _, m := range moments {
+		if err := platform.ValidateApps(m.Platform, m.Apps); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		// Aggregate card bandwidth of the mix: a congested moment should
+		// be able to outstrip the file system.
+		var demand float64
+		for _, a := range m.Apps {
+			demand += m.Platform.PeakAppBW(a.Nodes)
+		}
+		if demand > m.Platform.TotalBW {
+			congested++
+		}
+	}
+	if congested < len(moments)/2 {
+		t.Errorf("only %d/%d moments can congest the file system", congested, len(moments))
+	}
+}
+
+func TestMiraMomentsUsesMira(t *testing.T) {
+	moments := MiraMoments(3, 1)
+	for _, m := range moments {
+		if m.Platform.Name != "mira" {
+			t.Errorf("moment %s on platform %s", m.Name, m.Platform.Name)
+		}
+	}
+}
+
+func TestReplicateToFill(t *testing.T) {
+	p := platform.Intrepid()
+	observed, err := Generate(Config{
+		Platform: p, Seed: 4, Fill: 0.4,
+		Specs:   []Spec{{Count: 10, Category: Large}},
+		IORatio: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filled := ReplicateToFill(p, observed, 0.9, 5)
+	if len(filled) <= len(observed) {
+		t.Errorf("replication added no apps: %d -> %d", len(observed), len(filled))
+	}
+	total := 0
+	ids := map[int]bool{}
+	for _, a := range filled {
+		total += a.Nodes
+		if ids[a.ID] {
+			t.Fatalf("duplicate app ID %d after replication", a.ID)
+		}
+		ids[a.ID] = true
+	}
+	if total > p.Nodes {
+		t.Errorf("replicated mix uses %d nodes > %d", total, p.Nodes)
+	}
+	if float64(total) < 0.75*float64(p.Nodes) {
+		t.Errorf("replicated mix fills only %d/%d nodes", total, p.Nodes)
+	}
+}
+
+func TestMomentsDeterministic(t *testing.T) {
+	a := IntrepidMoments(4, 99)
+	b := IntrepidMoments(4, 99)
+	for i := range a {
+		if len(a[i].Apps) != len(b[i].Apps) {
+			t.Fatalf("moment %d app counts differ", i)
+		}
+		for j := range a[i].Apps {
+			x, y := a[i].Apps[j], b[i].Apps[j]
+			if x.Nodes != y.Nodes || x.Release != y.Release ||
+				len(x.Instances) != len(y.Instances) {
+				t.Fatalf("moment %d app %d differs across identical seeds", i, j)
+			}
+		}
+	}
+}
+
+func TestWQuantumRoundsWork(t *testing.T) {
+	apps, err := Generate(Config{
+		Platform: platform.Intrepid(),
+		Seed:     3,
+		Specs:    []Spec{{Count: 10, Category: Small}},
+		IORatio:  0.2,
+		WMin:     100, WMax: 900,
+		WQuantum: 150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range apps {
+		w := a.Instances[0].Work
+		q := w / 150
+		if q != float64(int(q)) {
+			t.Errorf("app %d work %g not a multiple of the 150 s quantum", a.ID, w)
+		}
+		if w < 150 {
+			t.Errorf("app %d work %g below one quantum", a.ID, w)
+		}
+	}
+}
+
+// Property: generated mixes always fit the platform and have positive
+// work and volume.
+func TestGenerateQuick(t *testing.T) {
+	p := platform.Intrepid()
+	f := func(seed int64, small, large uint8, ratioRaw uint8) bool {
+		cfg := Config{
+			Platform: p,
+			Seed:     seed,
+			Specs: []Spec{
+				{Count: int(small%40) + 1, Category: Small},
+				{Count: int(large % 6), Category: Large},
+			},
+			IORatio: float64(ratioRaw%50)/100 + 0.05,
+		}
+		apps, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		if platform.ValidateApps(p, apps) != nil {
+			return false
+		}
+		for _, a := range apps {
+			if a.TotalWork() <= 0 || a.TotalVolume() <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package iosched is a library for scheduling the I/O of HPC applications
+// under congestion, reproducing Gainaru, Aupy, Benoit, Cappello, Robert
+// and Snir, "Scheduling the I/O of HPC applications under congestion"
+// (IPDPS 2015; INRIA RR-8519).
+//
+// The package re-exports the user-facing API of the internal packages:
+//
+//   - the platform/application model of Section 2 (N nodes of I/O-card
+//     bandwidth b in front of a file system of bandwidth B; applications
+//     alternating compute chunks and I/O transfers);
+//   - the online scheduling heuristics of Section 3.1 (RoundRobin,
+//     MinDilation, MaxSysEff, MinMax-γ, and their Priority variants) and
+//     the fair-share baseline standing in for production I/O schedulers;
+//   - the event-driven simulator of Section 4 and the rank-level cluster
+//     emulator of Section 5 (modified IOR with a scheduler thread);
+//   - the periodic scheduling heuristics of Section 3.2;
+//   - workload generators following the paper's Darshan-based
+//     characterization, and the experiment registry that regenerates
+//     every table and figure of the evaluation.
+//
+// Quick start:
+//
+//	p := iosched.Vesta()
+//	apps := []*iosched.App{
+//		iosched.NewPeriodicApp(0, 256, 30, 60, 10),
+//		iosched.NewPeriodicApp(1, 512, 45, 120, 8),
+//	}
+//	res, err := iosched.Simulate(iosched.SimConfig{
+//		Platform:  p.WithoutBB(),
+//		Scheduler: iosched.MaxSysEff(),
+//		Apps:      apps,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(res.Summary.SysEfficiency, res.Summary.Dilation)
+package iosched
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/periodic"
+	"repro/internal/platform"
+	"repro/internal/replay"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Platform model (Section 2).
+type (
+	// Platform is a machine: N nodes with per-node I/O bandwidth b and a
+	// file system of total bandwidth B, optionally with burst buffers.
+	Platform = platform.Platform
+	// BurstBuffer is an intermediate staging tier description.
+	BurstBuffer = platform.BurstBuffer
+	// App is one application: β dedicated nodes and a sequence of
+	// compute-then-I/O instances.
+	App = platform.App
+	// Instance is one compute/I-O phase.
+	Instance = platform.Instance
+)
+
+// Machine presets used in the paper.
+var (
+	// Intrepid is Argonne's 40-rack BlueGene/P.
+	Intrepid = platform.Intrepid
+	// Mira is Argonne's 48-rack BlueGene/Q.
+	Mira = platform.Mira
+	// Vesta is Mira's two-rack development platform, the Section 5
+	// testbed.
+	Vesta = platform.Vesta
+)
+
+// NewPeriodicApp builds an application with n identical instances of w
+// seconds of compute followed by vol GiB of I/O.
+func NewPeriodicApp(id, nodes int, w, vol float64, n int) *App {
+	return platform.NewPeriodic(id, nodes, w, vol, n)
+}
+
+// Scheduling (Section 3.1).
+type (
+	// Scheduler decides bandwidth sharing at every I/O event.
+	Scheduler = core.Scheduler
+	// Heuristic is an ordering-based greedy online scheduler.
+	Heuristic = core.Heuristic
+	// FairShare is the neutral max-min baseline (production scheduler).
+	FairShare = core.FairShare
+)
+
+// ProportionalShare is the node-proportional baseline.
+type ProportionalShare = core.ProportionalShare
+
+// Online heuristic constructors.
+var (
+	// RoundRobin favors the application whose last I/O finished longest
+	// ago (the comparison baseline heuristic).
+	RoundRobin = core.RoundRobin
+	// MinDilation favors the most slowed applications (user-oriented).
+	MinDilation = core.MinDilation
+	// MaxSysEff favors applications with the lowest β·ρ̃ (CPU-oriented).
+	MaxSysEff = core.MaxSysEff
+	// MinMax trades the two off around the threshold γ.
+	MinMax = core.MinMax
+	// SchedulerByName builds a scheduler from its report name
+	// (e.g. "Priority-MinMax-0.5").
+	SchedulerByName = core.ByName
+	// AllHeuristics returns the eight Figure 6 heuristics.
+	AllHeuristics = core.AllHeuristics
+	// WithTimeout wraps a scheduler so no request waits longer than the
+	// I/O system's timeout (Section 2.1 of the paper).
+	WithTimeout = core.NewTimeout
+)
+
+// Simulation (Section 4).
+type (
+	// SimConfig configures one simulator run.
+	SimConfig = sim.Config
+	// SimResult is the simulator outcome.
+	SimResult = sim.Result
+	// AppPerf is one application's performance record.
+	AppPerf = metrics.AppPerf
+	// Summary holds the run objectives (SysEfficiency, Dilation, ...).
+	Summary = metrics.Summary
+)
+
+// ExecTrace records per-application phases and bandwidths over a
+// simulation for visualization.
+type ExecTrace = sim.Trace
+
+// RenderGantt draws execution-trace rows as an ASCII timeline.
+var RenderGantt = report.RenderGantt
+
+// Simulate runs the application-level event-driven simulator.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// Cluster emulation (Section 5).
+type (
+	// ClusterConfig configures one rank-level emulator run (modified IOR
+	// with a scheduler thread on Vesta).
+	ClusterConfig = cluster.Config
+	// ClusterResult is the emulator outcome.
+	ClusterResult = cluster.Result
+	// IORGroup describes one IOR process group.
+	IORGroup = cluster.AppConfig
+)
+
+// Cluster benchmark modes.
+const (
+	// OriginalIOR runs the unmodified benchmark.
+	OriginalIOR = cluster.OriginalIOR
+	// AlwaysGrant adds the scheduler machinery but approves everything.
+	AlwaysGrant = cluster.AlwaysGrant
+	// Scheduled runs a real policy.
+	Scheduled = cluster.Scheduled
+)
+
+// Emulate runs the rank-level cluster emulator.
+func Emulate(cfg ClusterConfig) (*ClusterResult, error) { return cluster.Run(cfg) }
+
+// Periodic scheduling (Section 3.2).
+type (
+	// PeriodicSchedule is a fixed timetable repeated every T seconds.
+	PeriodicSchedule = periodic.Schedule
+	// PeriodSearchResult is the outcome of the (1+ε) period search.
+	PeriodSearchResult = periodic.SearchResult
+)
+
+// Periodic heuristic names for SearchPeriod.
+const (
+	// InsertThrou is Insert-In-Schedule-Throu (SysEfficiency-oriented).
+	InsertThrou = periodic.HeuristicThrou
+	// InsertCong is Insert-In-Schedule-Cong (Dilation-oriented).
+	InsertCong = periodic.HeuristicCong
+)
+
+// SearchPeriod runs the paper's period search with one of the two
+// insertion heuristics.
+func SearchPeriod(p *Platform, apps []*App, heuristic string, tmax, eps float64) (*PeriodSearchResult, error) {
+	return periodic.SearchPeriod(p, apps, heuristic, tmax, eps)
+}
+
+// Workload generation (Section 4.1).
+type (
+	// WorkloadConfig drives the synthetic mix generator.
+	WorkloadConfig = workload.Config
+	// WorkloadSpec is one application group to draw.
+	WorkloadSpec = workload.Spec
+	// Moment is one congested moment (platform + application mix).
+	Moment = workload.Moment
+)
+
+// AppTemplate models one of the paper's named periodic production codes
+// (S3D, HOMME, GTC, Enzo, HACC, CM1).
+type AppTemplate = workload.Template
+
+// Workload helpers.
+var (
+	// GenerateWorkload draws a seeded application mix.
+	GenerateWorkload = workload.Generate
+	// IntrepidMoments and MiraMoments build the congested-moment sets
+	// behind Tables 1 and 2.
+	IntrepidMoments = workload.IntrepidMoments
+	MiraMoments     = workload.MiraMoments
+	// AppTemplates returns the named application models of Section 4.1.
+	AppTemplates = workload.Templates
+	// DalyPeriod computes the optimal checkpoint interval (Daly 2004),
+	// the paper's canonical source of periodic applications.
+	DalyPeriod = workload.DalyPeriod
+	// CheckpointApp builds the periodic application induced by optimal
+	// checkpointing.
+	CheckpointApp = workload.CheckpointApp
+)
+
+// Experiments: the per-table/figure reproduction registry.
+type (
+	// Experiment reproduces one table or figure of the paper.
+	Experiment = experiments.Experiment
+	// ExperimentConfig scales an experiment run.
+	ExperimentConfig = experiments.Config
+	// ReportDocument is a rendered experiment result.
+	ReportDocument = report.Document
+)
+
+// Experiment registry accessors.
+var (
+	// Experiments returns all registered experiments sorted by ID.
+	Experiments = experiments.All
+	// ExperimentByID looks one up ("fig8", "table1", ...).
+	ExperimentByID = experiments.Get
+)
+
+// Trace replay: evaluate the scheduler on recorded machine traces.
+type (
+	// ReplayOptions configures a trace replay analysis.
+	ReplayOptions = replay.Options
+	// ReplayResult is a full trace analysis.
+	ReplayResult = replay.Result
+)
+
+// ReplayTrace finds a trace's congested windows and replays them under the
+// baseline and the heuristics.
+var ReplayTrace = replay.Analyze

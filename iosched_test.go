@@ -1,0 +1,132 @@
+package iosched_test
+
+import (
+	"math"
+	"testing"
+
+	iosched "repro"
+)
+
+func TestPublicAPISimulate(t *testing.T) {
+	machine := &iosched.Platform{Name: "t", Nodes: 100, NodeBW: 1, TotalBW: 10}
+	apps := []*iosched.App{
+		iosched.NewPeriodicApp(0, 30, 100, 120, 4),
+		iosched.NewPeriodicApp(1, 40, 80, 100, 5),
+	}
+	res, err := iosched.Simulate(iosched.SimConfig{
+		Platform:  machine,
+		Scheduler: iosched.MaxSysEff(),
+		Apps:      apps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Dilation < 1 {
+		t.Errorf("dilation %g < 1", res.Summary.Dilation)
+	}
+	if res.Summary.SysEfficiency <= 0 || res.Summary.SysEfficiency > res.Summary.UpperLimit {
+		t.Errorf("efficiency %g outside (0, %g]", res.Summary.SysEfficiency, res.Summary.UpperLimit)
+	}
+}
+
+// TestCrossValidationSimVsCluster is the reproduction of the paper's
+// Section 5 validation: the coarse event-driven simulator and the
+// rank-level cluster emulator must agree on the same scenario once the
+// emulator's message latencies and jitter are negligible.
+func TestCrossValidationSimVsCluster(t *testing.T) {
+	const (
+		ranks = 256
+		iters = 10
+		work  = 2.0
+		block = 0.1
+	)
+	vesta := iosched.Vesta()
+
+	clusterRes, err := iosched.Emulate(iosched.ClusterConfig{
+		Platform: vesta,
+		Mode:     iosched.Scheduled,
+		Policy:   iosched.MaxSysEff(),
+		Apps: []iosched.IORGroup{
+			{ID: 0, Name: "a", Ranks: ranks, Iterations: iters, Work: work, BlockGiB: block},
+			{ID: 1, Name: "b", Ranks: ranks, Iterations: iters, Work: work, BlockGiB: block},
+		},
+		MsgLatency:    1e-7,
+		ReqLatency:    1e-7,
+		ProcTime:      1e-8,
+		ComputeJitter: 1e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vol := float64(ranks) * block
+	simRes, err := iosched.Simulate(iosched.SimConfig{
+		Platform:  vesta.WithoutBB(),
+		Scheduler: iosched.MaxSysEff(),
+		Apps: []*iosched.App{
+			iosched.NewPeriodicApp(0, ranks, work, vol, iters),
+			iosched.NewPeriodicApp(1, ranks, work, vol, iters),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range simRes.Apps {
+		sf, cf := simRes.Apps[i].Finish, clusterRes.Apps[i].Finish
+		if rel := math.Abs(sf-cf) / sf; rel > 0.02 {
+			t.Errorf("app %d finish: sim %.3f vs cluster %.3f (%.1f%% apart)",
+				i, sf, cf, 100*rel)
+		}
+		sd, cd := simRes.Apps[i].Dilation(), clusterRes.Apps[i].Dilation()
+		if math.Abs(sd-cd) > 0.05 {
+			t.Errorf("app %d dilation: sim %.3f vs cluster %.3f", i, sd, cd)
+		}
+	}
+}
+
+func TestSchedulerByNameFacade(t *testing.T) {
+	s, err := iosched.SchedulerByName("Priority-MinMax-0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "Priority-MinMax-0.5" {
+		t.Errorf("name = %q", s.Name())
+	}
+	if _, err := iosched.SchedulerByName("nope"); err == nil {
+		t.Error("bogus name accepted")
+	}
+}
+
+func TestExperimentRegistryFacade(t *testing.T) {
+	all := iosched.Experiments()
+	if len(all) < 17 {
+		t.Errorf("registry exposes %d experiments, want >= 17", len(all))
+	}
+	if _, ok := iosched.ExperimentByID("table1"); !ok {
+		t.Error("table1 missing")
+	}
+}
+
+func TestPresetsFacade(t *testing.T) {
+	for _, p := range []*iosched.Platform{iosched.Intrepid(), iosched.Mira(), iosched.Vesta()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestPeriodicFacade(t *testing.T) {
+	machine := &iosched.Platform{Name: "t", Nodes: 100, NodeBW: 1, TotalBW: 10}
+	apps := []*iosched.App{
+		iosched.NewPeriodicApp(0, 20, 35, 24, 1),
+		iosched.NewPeriodicApp(1, 30, 90, 35, 1),
+	}
+	res, err := iosched.SearchPeriod(machine, apps, iosched.InsertCong, 1000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Error(err)
+	}
+}
