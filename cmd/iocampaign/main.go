@@ -1,0 +1,248 @@
+// Command iocampaign runs declarative scenario-sweep campaigns: a JSON
+// spec declares a grid of (platform × scheduler × workload × seed)
+// simulation cells, and the engine fans them out over a worker pool with
+// a content-addressed result cache, so growing a campaign re-simulates
+// only the new cells.
+//
+//	iocampaign run -spec sweep.json -cache .iocache -out results/
+//	iocampaign resume -spec sweep.json -cache .iocache
+//	iocampaign list -cache .iocache
+//	iocampaign diff -a results/a.json -b results/b.json
+//
+// See docs/campaign.md for the spec file format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:], false)
+	case "resume":
+		err = cmdRun(os.Args[2:], true)
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage(os.Stdout)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "iocampaign: unknown subcommand %q\n\n", os.Args[1])
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iocampaign: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: iocampaign <subcommand> [flags]
+
+subcommands:
+  run     expand a spec into its cell grid and execute it (cache-aware)
+  resume  continue a previously started campaign (requires its cache)
+  list    show the campaigns recorded in a cache directory
+  diff    compare the group summaries of two results files
+
+run 'iocampaign <subcommand> -h' for flags.
+`)
+}
+
+func cmdRun(args []string, resume bool) error {
+	name := "run"
+	if resume {
+		name = "resume"
+	}
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	var (
+		specPath = fs.String("spec", "", "campaign spec file (JSON, required)")
+		cacheDir = fs.String("cache", "", "result cache directory (required for resume)")
+		workers  = fs.Int("workers", 0, "max parallel shards (default GOMAXPROCS)")
+		outDir   = fs.String("out", "", "directory for <name>.results.json and <name>.groups.csv")
+		quiet    = fs.Bool("quiet", false, "suppress per-cell progress lines")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *specPath == "" {
+		return fmt.Errorf("%s: -spec is required", name)
+	}
+	spec, err := campaign.Load(*specPath)
+	if err != nil {
+		return err
+	}
+
+	var cache *campaign.Cache
+	if *cacheDir != "" {
+		if cache, err = campaign.NewCache(*cacheDir); err != nil {
+			return err
+		}
+	}
+	if resume {
+		if cache == nil {
+			return fmt.Errorf("resume: -cache is required")
+		}
+		st, ok, err := cache.LoadState(spec.Name)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("resume: campaign %q has never run against cache %s (use run)", spec.Name, *cacheDir)
+		}
+		hash, err := spec.Hash()
+		if err != nil {
+			return err
+		}
+		if st.SpecHash != hash {
+			fmt.Fprintf(os.Stderr, "iocampaign: spec changed since the last run (%d/%d cells were complete); unchanged cells will be reused\n",
+				st.Completed, st.Cells)
+		} else {
+			fmt.Fprintf(os.Stderr, "iocampaign: resuming %q: %d/%d cells complete\n", spec.Name, st.Completed, st.Cells)
+		}
+	}
+
+	var log io.Writer
+	if !*quiet {
+		log = os.Stderr
+	}
+	start := time.Now()
+	res, stats, err := (&campaign.Runner{Spec: spec, Cache: cache, Workers: *workers, Log: log}).Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "iocampaign: %d cells (%d simulated in %d shards, %d cache hits) in %.1fs\n",
+		stats.Cells, stats.Simulated, stats.Shards, stats.CacheHits, time.Since(start).Seconds())
+
+	if err := res.Document().Render(os.Stdout); err != nil {
+		return err
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		jsonPath := filepath.Join(*outDir, spec.Name+".results.json")
+		if err := writeTo(jsonPath, res.WriteJSON); err != nil {
+			return err
+		}
+		csvPath := filepath.Join(*outDir, spec.Name+".groups.csv")
+		if err := writeTo(csvPath, res.WriteGroupsCSV); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "iocampaign: wrote %s and %s\n", jsonPath, csvPath)
+	}
+	return nil
+}
+
+func writeTo(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	cacheDir := fs.String("cache", "", "result cache directory (required)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *cacheDir == "" {
+		return fmt.Errorf("list: -cache is required")
+	}
+	cache, err := campaign.NewCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	states, err := cache.States()
+	if err != nil {
+		return err
+	}
+	entries, err := cache.Len()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cache %s: %d cell results\n", *cacheDir, entries)
+	if len(states) == 0 {
+		fmt.Println("no campaigns recorded")
+		return nil
+	}
+	fmt.Printf("%-24s  %8s  %10s  %s\n", "campaign", "cells", "complete", "spec hash")
+	for _, st := range states {
+		fmt.Printf("%-24s  %8d  %9d%%  %.16s\n",
+			st.Name, st.Cells, percent(st.Completed, st.Cells), st.SpecHash)
+	}
+	return nil
+}
+
+func percent(done, total int) int {
+	if total == 0 {
+		return 0
+	}
+	return 100 * done / total
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	var (
+		aPath = fs.String("a", "", "baseline results JSON (required)")
+		bPath = fs.String("b", "", "comparison results JSON (required)")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *aPath == "" || *bPath == "" {
+		return fmt.Errorf("diff: -a and -b are required")
+	}
+	a, err := campaign.ReadResults(*aPath)
+	if err != nil {
+		return err
+	}
+	b, err := campaign.ReadResults(*bPath)
+	if err != nil {
+		return err
+	}
+
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("%s (a) vs %s (b)", a.Name, b.Name),
+		Columns: []string{"SysEff a", "SysEff b", "Δ", "Dilation a", "Dilation b", "Δ"},
+		Notes:   []string{"groups only present on one side are listed with '-' cells"},
+	}
+	seen := map[campaign.GroupKey]bool{}
+	for _, ga := range a.Groups {
+		seen[ga.GroupKey] = true
+		gb, ok := b.Group(ga.Platform, ga.Workload, ga.Scheduler)
+		if !ok {
+			tbl.AddRow(ga.GroupKey.String(), ga.SysEfficiency, math.NaN(), math.NaN(),
+				ga.Dilation, math.NaN(), math.NaN())
+			continue
+		}
+		tbl.AddRow(ga.GroupKey.String(),
+			ga.SysEfficiency, gb.SysEfficiency, gb.SysEfficiency-ga.SysEfficiency,
+			ga.Dilation, gb.Dilation, gb.Dilation-ga.Dilation)
+	}
+	for _, gb := range b.Groups {
+		if !seen[gb.GroupKey] {
+			tbl.AddRow(gb.GroupKey.String(), math.NaN(), gb.SysEfficiency, math.NaN(),
+				math.NaN(), gb.Dilation, math.NaN())
+		}
+	}
+	return tbl.Render(os.Stdout)
+}

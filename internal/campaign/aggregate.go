@@ -1,0 +1,210 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/report"
+)
+
+// GroupKey identifies an aggregation group: every cell of a group
+// differs only in its seed.
+type GroupKey struct {
+	Platform  string `json:"platform"`
+	Workload  string `json:"workload"`
+	Scheduler string `json:"scheduler"`
+}
+
+func (k GroupKey) String() string {
+	return fmt.Sprintf("%s/%s/%s", k.Platform, k.Workload, k.Scheduler)
+}
+
+// GroupSummary reduces a group's cells over the seed axis.
+type GroupSummary struct {
+	GroupKey
+	Cells int `json:"cells"`
+
+	SysEfficiency     float64 `json:"sys_efficiency"`
+	SysEfficiencyCI95 float64 `json:"sys_efficiency_ci95"`
+	UpperLimit        float64 `json:"upper_limit"`
+
+	// Dilation statistics are over the per-cell max dilation.
+	Dilation     float64 `json:"dilation"`
+	DilationCI95 float64 `json:"dilation_ci95"`
+	DilationP95  float64 `json:"dilation_p95"`
+	MeanDilation float64 `json:"mean_dilation"`
+
+	Makespan float64 `json:"makespan"`
+}
+
+// Aggregator reduces cell results into per-group summaries as they
+// stream in. Add may be called in any completion order: every
+// observation is indexed by its cell position, and the reduction sorts
+// by it, so the aggregate is deterministic regardless of worker timing —
+// the property behind the cache's byte-identical warm re-runs.
+type Aggregator struct {
+	groups map[GroupKey]*groupAcc
+}
+
+type groupAcc struct {
+	obs []groupObs
+}
+
+type groupObs struct {
+	index   int
+	summary metrics.Summary
+}
+
+// NewAggregator builds an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{groups: make(map[GroupKey]*groupAcc)}
+}
+
+// Add feeds one cell result, tagged with its expansion index.
+func (a *Aggregator) Add(index int, r *CellResult) {
+	k := GroupKey{Platform: r.Platform, Workload: r.Workload, Scheduler: r.Scheduler}
+	g := a.groups[k]
+	if g == nil {
+		g = &groupAcc{}
+		a.groups[k] = g
+	}
+	g.obs = append(g.obs, groupObs{index: index, summary: r.Summary})
+}
+
+// reduce computes one group's summary with the observations in cell
+// order, mirroring the float summation order of a sequential sweep.
+func (g *groupAcc) reduce(k GroupKey) GroupSummary {
+	sort.Slice(g.obs, func(i, j int) bool { return g.obs[i].index < g.obs[j].index })
+	var effs, uppers, dils, meanDils, makespans metrics.Sample
+	for _, o := range g.obs {
+		effs = append(effs, o.summary.SysEfficiency)
+		uppers = append(uppers, o.summary.UpperLimit)
+		dils = append(dils, o.summary.Dilation)
+		meanDils = append(meanDils, o.summary.MeanDilation)
+		makespans = append(makespans, o.summary.Makespan)
+	}
+	return GroupSummary{
+		GroupKey:          k,
+		Cells:             len(g.obs),
+		SysEfficiency:     effs.Mean(),
+		SysEfficiencyCI95: effs.CI95(),
+		UpperLimit:        uppers.Mean(),
+		Dilation:          dils.Mean(),
+		DilationCI95:      dils.CI95(),
+		DilationP95:       dils.Percentile(95),
+		MeanDilation:      meanDils.Mean(),
+		Makespan:          makespans.Mean(),
+	}
+}
+
+// Groups returns every group summary sorted by (platform, workload,
+// scheduler).
+func (a *Aggregator) Groups() []GroupSummary {
+	keys := make([]GroupKey, 0, len(a.groups))
+	for k := range a.groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Platform != b.Platform {
+			return a.Platform < b.Platform
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		return a.Scheduler < b.Scheduler
+	})
+	out := make([]GroupSummary, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, a.groups[k].reduce(k))
+	}
+	return out
+}
+
+// Results is a completed campaign: every cell result in expansion order
+// plus the reduced groups.
+type Results struct {
+	Name     string         `json:"name"`
+	SpecHash string         `json:"spec_hash"`
+	Groups   []GroupSummary `json:"groups"`
+	Cells    []*CellResult  `json:"cells"`
+}
+
+// Group looks one summary up by axis values.
+func (r *Results) Group(platform, workload, scheduler string) (GroupSummary, bool) {
+	k := GroupKey{Platform: platform, Workload: workload, Scheduler: scheduler}
+	for _, g := range r.Groups {
+		if g.GroupKey == k {
+			return g, true
+		}
+	}
+	return GroupSummary{}, false
+}
+
+// Document renders the group summaries as a report document (one table
+// per platform/workload pair, schedulers as rows).
+func (r *Results) Document() *report.Document {
+	doc := &report.Document{ID: r.Name, Title: fmt.Sprintf("campaign %s", r.Name)}
+	var cur *report.Table
+	curPW := ""
+	for _, g := range r.Groups {
+		pw := g.Platform + " / " + g.Workload
+		if pw != curPW {
+			cur = &report.Table{
+				Title: pw,
+				Columns: []string{"cells", "SysEfficiency", "±95%", "UpperLim",
+					"Dilation", "±95%", "p95", "MeanDil", "Makespan"},
+			}
+			doc.Tables = append(doc.Tables, cur)
+			curPW = pw
+		}
+		cur.AddRow(g.Scheduler, float64(g.Cells), g.SysEfficiency, g.SysEfficiencyCI95,
+			g.UpperLimit, g.Dilation, g.DilationCI95, g.DilationP95, g.MeanDilation, g.Makespan)
+	}
+	return doc
+}
+
+// WriteJSON emits the full results deterministically: the same campaign
+// produces byte-identical output whether its cells were simulated or
+// served from the cache.
+func (r *Results) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// WriteGroupsCSV emits one CSV row per group.
+func (r *Results) WriteGroupsCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "platform,workload,scheduler,cells,sys_efficiency,sys_efficiency_ci95,upper_limit,dilation,dilation_ci95,dilation_p95,mean_dilation,makespan"); err != nil {
+		return err
+	}
+	for _, g := range r.Groups {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%g,%g,%g,%g,%g,%g,%g,%g\n",
+			g.Platform, g.Workload, g.Scheduler, g.Cells,
+			g.SysEfficiency, g.SysEfficiencyCI95, g.UpperLimit,
+			g.Dilation, g.DilationCI95, g.DilationP95, g.MeanDilation, g.Makespan); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadResults parses a results JSON file written by WriteJSON.
+func ReadResults(path string) (*Results, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Results
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("campaign: parsing results %s: %w", path, err)
+	}
+	return &r, nil
+}

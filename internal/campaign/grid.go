@@ -1,0 +1,193 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// engineVersion participates in every cell hash. Bump it whenever the
+// simulator or the workload generator changes semantics, so stale cache
+// entries are never reused.
+const engineVersion = "iosched-sim/1"
+
+// Cell is one point of the campaign grid: a fully resolved simulation to
+// run.
+type Cell struct {
+	// Index is the cell's position in the deterministic expansion order
+	// (platform-major, then workload, then seed, with schedulers
+	// innermost so cells sharing a generated workload are adjacent).
+	Index int
+
+	Platform  string
+	Scheduler string
+	Workload  string
+	Seed      int64
+
+	// Key is the content hash of everything that determines the cell's
+	// outcome; it addresses the result cache.
+	Key string
+
+	plat  *platform.Platform
+	wcfg  workload.Config
+	shard int
+}
+
+// Name returns a human-readable cell identifier.
+func (c Cell) Name() string {
+	return fmt.Sprintf("%s/%s/seed%d/%s", c.Platform, c.Workload, c.Seed, c.Scheduler)
+}
+
+// fingerprint is the canonical content of a cell hash. Field order and
+// types are part of the cache format; changing them invalidates caches
+// (as it must).
+type fingerprint struct {
+	Engine    string        `json:"engine"`
+	Platform  fpPlatform    `json:"platform"`
+	Scheduler string        `json:"scheduler"`
+	Workload  fpWorkload    `json:"workload"`
+	Seed      int64         `json:"seed"`
+	Sim       SimOptions    `json:"sim"`
+	BB        *fpBurstBuf   `json:"bb,omitempty"`
+	Groups    []fpGroupSpec `json:"groups"`
+}
+
+type fpPlatform struct {
+	Nodes   int     `json:"nodes"`
+	NodeBW  float64 `json:"node_bw"`
+	TotalBW float64 `json:"total_bw"`
+}
+
+type fpBurstBuf struct {
+	Capacity float64 `json:"capacity"`
+	IngestBW float64 `json:"ingest_bw"`
+}
+
+type fpGroupSpec struct {
+	Count    int `json:"count"`
+	Category int `json:"category"`
+}
+
+type fpWorkload struct {
+	IORatio       float64 `json:"io_ratio"`
+	IORatioSpread float64 `json:"io_ratio_spread"`
+	WMin          float64 `json:"w_min"`
+	WMax          float64 `json:"w_max"`
+	WQuantum      float64 `json:"w_quantum"`
+	SensW         float64 `json:"sens_w"`
+	SensIO        float64 `json:"sens_io"`
+	TargetTime    float64 `json:"target_time"`
+	MinInstances  int     `json:"min_instances"`
+	ReleaseSpread float64 `json:"release_spread"`
+	Fill          float64 `json:"fill"`
+}
+
+// cellKey hashes the resolved cell content.
+func cellKey(p *platform.Platform, scheduler string, wcfg workload.Config, seed int64, sim SimOptions) string {
+	fp := fingerprint{
+		Engine:    engineVersion,
+		Platform:  fpPlatform{Nodes: p.Nodes, NodeBW: p.NodeBW, TotalBW: p.TotalBW},
+		Scheduler: scheduler,
+		Workload: fpWorkload{
+			IORatio:       wcfg.IORatio,
+			IORatioSpread: wcfg.IORatioSpread,
+			WMin:          wcfg.WMin,
+			WMax:          wcfg.WMax,
+			WQuantum:      wcfg.WQuantum,
+			SensW:         wcfg.SensW,
+			SensIO:        wcfg.SensIO,
+			TargetTime:    wcfg.TargetTime,
+			MinInstances:  wcfg.MinInstances,
+			ReleaseSpread: wcfg.ReleaseSpread,
+			Fill:          wcfg.Fill,
+		},
+		Seed: seed,
+		Sim:  sim,
+	}
+	if sim.UseBB && p.BurstBuffer != nil {
+		fp.BB = &fpBurstBuf{Capacity: p.BurstBuffer.Capacity, IngestBW: p.BurstBuffer.IngestBW}
+	}
+	for _, g := range wcfg.Specs {
+		fp.Groups = append(fp.Groups, fpGroupSpec{Count: g.Count, Category: int(g.Category)})
+	}
+	b, err := json.Marshal(fp)
+	if err != nil {
+		// fingerprint contains only marshalable scalar fields.
+		panic(fmt.Sprintf("campaign: fingerprint: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Expand resolves the spec into its deterministic cell grid. Cells
+// sharing a (platform, workload, seed) shard are adjacent and carry the
+// same shard number, so the executor can generate each workload once and
+// run every scheduler on it.
+func (s *Spec) Expand() ([]Cell, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	plats := make([]*platform.Platform, len(s.Platforms))
+	for i, ps := range s.Platforms {
+		p, err := ps.resolve()
+		if err != nil {
+			return nil, err
+		}
+		if !s.Sim.UseBB {
+			p = p.WithoutBB()
+		}
+		plats[i] = p
+	}
+	seeds := s.Seeds.Values()
+
+	cells := make([]Cell, 0, len(plats)*len(s.Workloads)*len(seeds)*len(s.Schedulers))
+	shard := 0
+	for pi, p := range plats {
+		for _, w := range s.Workloads {
+			for _, seed := range seeds {
+				wcfg, err := w.config(p, seed)
+				if err != nil {
+					return nil, err
+				}
+				for _, sched := range s.Schedulers {
+					cells = append(cells, Cell{
+						Index:     len(cells),
+						Platform:  p.Name,
+						Scheduler: sched,
+						Workload:  w.Name,
+						Seed:      seed,
+						Key:       cellKey(plats[pi], sched, wcfg, seed, s.Sim),
+						plat:      p,
+						wcfg:      wcfg,
+						shard:     shard,
+					})
+				}
+				shard++
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Hash identifies the whole grid: the hash of all cell keys in order.
+// Two specs with the same hash simulate exactly the same cells.
+func (s *Spec) Hash() (string, error) {
+	cells, err := s.Expand()
+	if err != nil {
+		return "", err
+	}
+	return hashCells(cells), nil
+}
+
+// hashCells reduces an expanded grid to its identifying hash.
+func hashCells(cells []Cell) string {
+	h := sha256.New()
+	for _, c := range cells {
+		h.Write([]byte(c.Key))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

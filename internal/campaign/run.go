@@ -1,0 +1,185 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Runner executes a campaign: probe the cache, fan the missing cells out
+// over the worker pool, and stream completions into the cache and the
+// aggregator.
+type Runner struct {
+	Spec *Spec
+	// Cache is the on-disk result store; nil simulates everything.
+	Cache *Cache
+	// Workers bounds the shard parallelism (<= 0 selects GOMAXPROCS).
+	Workers int
+	// Log receives one line per cell (cache hit or simulated); nil
+	// disables logging.
+	Log io.Writer
+}
+
+// RunStats summarizes one execution.
+type RunStats struct {
+	Cells     int
+	CacheHits int
+	Simulated int
+	Shards    int
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format+"\n", args...)
+	}
+}
+
+// shard is the executor's unit of work: the cells that share one
+// generated workload (same platform, workload spec and seed, schedulers
+// varying). Generating the application mix once per shard amortizes
+// workload construction and keeps every scheduler measured on the
+// identical mix; the simulator never mutates the mix, so sequential
+// reuse within the shard is safe.
+type shard struct {
+	cells []*Cell
+}
+
+// Run executes the campaign and returns its results and statistics.
+func (r *Runner) Run() (*Results, *RunStats, error) {
+	cells, err := r.Spec.Expand()
+	if err != nil {
+		return nil, nil, err
+	}
+	specHash := hashCells(cells)
+	stats := &RunStats{Cells: len(cells)}
+	results := make([]*CellResult, len(cells))
+
+	// Probe the cache serially (cheap reads) so hit logging is ordered
+	// and the executor only sees real work.
+	shards := make(map[int]*shard)
+	var shardOrder []int
+	for i := range cells {
+		c := &cells[i]
+		cached, hit, err := r.Cache.Get(c.Key)
+		if err != nil {
+			return nil, nil, err
+		}
+		if hit {
+			stats.CacheHits++
+			results[c.Index] = cached
+			r.logf("cache hit  %s", c.Name())
+			continue
+		}
+		sh := shards[c.shard]
+		if sh == nil {
+			sh = &shard{}
+			shards[c.shard] = sh
+			shardOrder = append(shardOrder, c.shard)
+		}
+		sh.cells = append(sh.cells, c)
+	}
+	stats.Shards = len(shardOrder)
+
+	// Record the campaign as started before simulating, so an
+	// interrupted run is resumable and list/resume report real progress.
+	if r.Cache != nil {
+		st := &State{Name: r.Spec.Name, SpecHash: specHash, Cells: len(cells), Completed: stats.CacheHits}
+		if err := r.Cache.SaveState(st); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Fan the shards out; completions stream back serialized, so cache
+	// writes and log lines never interleave.
+	err = parallel.Stream(len(shardOrder), r.Workers,
+		func(i int) ([]*CellResult, error) {
+			sh := shards[shardOrder[i]]
+			apps, err := workload.Generate(sh.cells[0].wcfg)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: %s: %w", sh.cells[0].Name(), err)
+			}
+			out := make([]*CellResult, 0, len(sh.cells))
+			for _, c := range sh.cells {
+				res, err := r.runCell(c, apps)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, res)
+			}
+			return out, nil
+		},
+		func(i int, out []*CellResult, err error) error {
+			if err != nil {
+				return err
+			}
+			sh := shards[shardOrder[i]]
+			for j, res := range out {
+				if err := r.Cache.Put(res); err != nil {
+					return err
+				}
+				results[sh.cells[j].Index] = res
+				stats.Simulated++
+				r.logf("simulated  %s", sh.cells[j].Name())
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	agg := NewAggregator()
+	for i, res := range results {
+		if res == nil {
+			return nil, nil, fmt.Errorf("campaign: cell %s has no result", cells[i].Name())
+		}
+		agg.Add(i, res)
+	}
+	out := &Results{
+		Name:     r.Spec.Name,
+		SpecHash: specHash,
+		Groups:   agg.Groups(),
+		Cells:    results,
+	}
+	if r.Cache != nil {
+		st := &State{Name: r.Spec.Name, SpecHash: specHash, Cells: len(cells), Completed: len(cells)}
+		if err := r.Cache.SaveState(st); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, stats, nil
+}
+
+// runCell simulates one cell on a pre-generated application mix.
+func (r *Runner) runCell(c *Cell, apps []*platform.App) (*CellResult, error) {
+	sched, err := core.ByName(c.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sim.Config{
+		Platform:       c.plat,
+		Scheduler:      sched,
+		Apps:           apps,
+		UseBB:          r.Spec.Sim.UseBB,
+		RequestLatency: r.Spec.Sim.RequestLatencyS,
+		MaxTime:        r.Spec.Sim.MaxTimeS,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %s: %w", c.Name(), err)
+	}
+	return &CellResult{
+		Key:       c.Key,
+		Platform:  c.Platform,
+		Scheduler: c.Scheduler,
+		Workload:  c.Workload,
+		Seed:      c.Seed,
+		Apps:      len(res.Apps),
+		Events:    res.Events,
+		Decisions: res.Decisions,
+		Summary:   res.Summary,
+	}, nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// TestFig6CampaignMatchesDirectSweep pins the campaign-based Figure 6
+// driver to the original hand-wired sweep: identical replicate seeding,
+// identical reduction order, bit-identical table cells. This is the
+// guarantee that re-expressing a figure as a campaign did not change its
+// numbers.
+func TestFig6CampaignMatchesDirectSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep comparison skipped in -short mode")
+	}
+	const n = 4
+	cfg := Config{Replicates: n, Seed: 3, Workers: 2}
+	for _, kind := range []workload.Fig6Kind{workload.Fig6A, workload.Fig6B, workload.Fig6C} {
+		kind := kind
+		doc, err := fig6Runner(kind)(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := doc.Tables[0]
+		if len(tbl.Rows) != len(core.AllHeuristics()) {
+			t.Fatalf("%v: %d rows", kind, len(tbl.Rows))
+		}
+		for ri, sched := range core.AllHeuristics() {
+			// The pre-campaign driver, verbatim: run the scheduler over
+			// the seeded replicate mixes and average.
+			sums, err := replicateSummaries(func(rep int) workload.Config {
+				return workload.Fig6Config(kind, cfg.Seed+int64(rep)*31+7)
+			}, sched, n, cfg.Workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mean := metrics.MeanSummary(sums)
+			var effs, dils metrics.Sample
+			for _, s := range sums {
+				effs = append(effs, s.SysEfficiency)
+				dils = append(dils, s.Dilation)
+			}
+			row := tbl.Rows[ri]
+			if row.Label != sched.Name() {
+				t.Errorf("%v row %d: label %q, want %q", kind, ri, row.Label, sched.Name())
+				continue
+			}
+			want := []float64{mean.SysEfficiency, effs.CI95(), mean.Dilation, dils.CI95()}
+			for ci, w := range want {
+				if row.Cells[ci] != w {
+					t.Errorf("%v %s cell %d: campaign %v, direct sweep %v",
+						kind, sched.Name(), ci, row.Cells[ci], w)
+				}
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
@@ -180,34 +181,51 @@ func runFig5(cfg Config) (*Document, error) {
 	}, nil
 }
 
-// fig6Runner builds the runner for one Figure 6 panel: the eight online
-// heuristics averaged over seeded replicate mixes.
+// fig6Spec declares one Figure 6 panel as a campaign: the eight online
+// heuristics on Intrepid over n seeded replicate mixes. The seed range
+// reproduces the replicate seeding of the original hand-wired driver
+// (seed + 31·rep + 7), so the numbers are unchanged.
+func fig6Spec(kind workload.Fig6Kind, seed int64, n int) *campaign.Spec {
+	id := map[workload.Fig6Kind]string{
+		workload.Fig6A: "fig6a", workload.Fig6B: "fig6b", workload.Fig6C: "fig6c",
+	}[kind]
+	var scheds []string
+	for _, s := range core.AllHeuristics() {
+		scheds = append(scheds, s.Name())
+	}
+	return &campaign.Spec{
+		Name:        id,
+		Description: kind.String(),
+		Platforms:   []campaign.PlatformSpec{{Preset: "intrepid"}},
+		Schedulers:  scheds,
+		Workloads:   []campaign.WorkloadSpec{{Name: id, Scenario: id}},
+		Seeds:       campaign.SeedRange{Start: seed + 7, Stride: 31, Count: n},
+	}
+}
+
+// fig6Runner builds the runner for one Figure 6 panel on top of the
+// campaign engine: the panel is just a (heuristic × seed) grid on one
+// platform, reduced over the seed axis.
 func fig6Runner(kind workload.Fig6Kind) Runner {
 	return func(cfg Config) (*Document, error) {
 		n := cfg.replicates()
+		spec := fig6Spec(kind, cfg.Seed, n)
+		res, _, err := (&campaign.Runner{Spec: spec, Workers: cfg.Workers}).Run()
+		if err != nil {
+			return nil, err
+		}
 		tbl := &report.Table{
 			Title:   fmt.Sprintf("%v — mean over %d mixes", kind, n),
 			Columns: []string{"SysEfficiency", "±95%", "Dilation", "±95%"},
 		}
 		for _, sched := range core.AllHeuristics() {
-			sums, err := replicateSummaries(func(rep int) workload.Config {
-				return workload.Fig6Config(kind, cfg.Seed+int64(rep)*31+7)
-			}, sched, n, cfg.Workers)
-			if err != nil {
-				return nil, err
+			g, ok := res.Group("intrepid", spec.Name, sched.Name())
+			if !ok {
+				return nil, fmt.Errorf("experiments: %s: no campaign group for %s", spec.Name, sched.Name())
 			}
-			mean := metrics.MeanSummary(sums)
-			var effs, dils metrics.Sample
-			for _, s := range sums {
-				effs = append(effs, s.SysEfficiency)
-				dils = append(dils, s.Dilation)
-			}
-			tbl.AddRow(sched.Name(), mean.SysEfficiency, effs.CI95(), mean.Dilation, dils.CI95())
+			tbl.AddRow(sched.Name(), g.SysEfficiency, g.SysEfficiencyCI95, g.Dilation, g.DilationCI95)
 		}
-		id := map[workload.Fig6Kind]string{
-			workload.Fig6A: "fig6a", workload.Fig6B: "fig6b", workload.Fig6C: "fig6c",
-		}[kind]
-		return &Document{ID: id, Title: kind.String(), Tables: []*report.Table{tbl}}, nil
+		return &Document{ID: spec.Name, Title: kind.String(), Tables: []*report.Table{tbl}}, nil
 	}
 }
 

@@ -17,6 +17,25 @@ import (
 // and reported as errors so one bad replicate cannot take down a whole
 // sweep.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return Stream(n, workers,
+		func(i int) (struct{}, error) { return struct{}{}, fn(i) },
+		func(int, struct{}, error) error { return nil },
+	)
+}
+
+// Stream runs fn(i) for i in [0, n) on up to workers goroutines and calls
+// sink(i, v, err) serialized, in completion order (not index order). It is
+// the building block for long sweeps that want to persist or log results
+// as they arrive instead of holding everything in memory until the end.
+//
+// While sink keeps returning nil it sees every index exactly once, and
+// Stream behaves like ForEach: every index runs, fn panics are recovered
+// into errors, and the first fn error by index order is returned after
+// sink has seen every completion. A non-nil error from sink aborts early
+// and is returned instead: further dispatch stops, and already-running
+// calls finish but their completions are discarded without reaching sink
+// — don't tie resource cleanup to sink delivery.
+func Stream[T any](n, workers int, fn func(i int) (T, error), sink func(i int, v T, err error) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -26,23 +45,54 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
-	errs := make([]error, n)
-	var wg sync.WaitGroup
+	type completion struct {
+		i   int
+		v   T
+		err error
+	}
 	next := make(chan int)
+	completions := make(chan completion, workers)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				errs[i] = protect(i, fn)
+				v, err := protectValue(i, fn)
+				completions <- completion{i: i, v: v, err: err}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
+	go func() {
+		defer close(next)
+		for i := 0; i < n; i++ {
+			select {
+			case next <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(completions)
+	}()
+
+	errs := make([]error, n)
+	var sinkErr error
+	for c := range completions {
+		errs[c.i] = c.err
+		if sinkErr == nil {
+			if err := sink(c.i, c.v, c.err); err != nil {
+				sinkErr = err
+				close(stop)
+			}
+		}
 	}
-	close(next)
-	wg.Wait()
+	if sinkErr != nil {
+		return sinkErr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -51,7 +101,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	return nil
 }
 
-func protect(i int, fn func(int) error) (err error) {
+func protectValue[T any](i int, fn func(int) (T, error)) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("parallel: replicate %d panicked: %v", i, r)

@@ -92,3 +92,98 @@ func TestMapError(t *testing.T) {
 		t.Errorf("err = %v, want boom", err)
 	}
 }
+
+func TestStreamDeliversEveryCompletion(t *testing.T) {
+	const n = 100
+	seen := make([]bool, n)
+	sum := 0
+	err := Stream(n, 8,
+		func(i int) (int, error) { return i, nil },
+		func(i, v int, err error) error {
+			if err != nil {
+				t.Errorf("index %d: unexpected error %v", i, err)
+			}
+			if v != i {
+				t.Errorf("index %d delivered value %d", i, v)
+			}
+			if seen[i] {
+				t.Errorf("index %d delivered twice", i)
+			}
+			seen[i] = true
+			sum += v
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := n * (n - 1) / 2; sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("index %d never delivered", i)
+		}
+	}
+}
+
+func TestStreamSinkErrorStopsDispatch(t *testing.T) {
+	stop := errors.New("stop")
+	var started atomic.Int64
+	err := Stream(1000, 2,
+		func(i int) (int, error) { started.Add(1); return i, nil },
+		func(i, v int, err error) error { return stop },
+	)
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want sink error", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Errorf("all %d tasks started despite sink abort", n)
+	}
+}
+
+func TestStreamReportsFnErrorsToSinkAndCaller(t *testing.T) {
+	boom := errors.New("boom")
+	sawErr := false
+	err := Stream(10, 4,
+		func(i int) (int, error) {
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		func(i, v int, err error) error {
+			if i == 3 {
+				sawErr = errors.Is(err, boom)
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if !sawErr {
+		t.Error("sink never saw index 3's error")
+	}
+}
+
+func TestStreamRecoversPanics(t *testing.T) {
+	err := Stream(4, 2,
+		func(i int) (int, error) {
+			if i == 1 {
+				panic("boom")
+			}
+			return i, nil
+		},
+		func(i, v int, err error) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("err = %v, want panic report", err)
+	}
+}
+
+func TestStreamZero(t *testing.T) {
+	err := Stream(0, 4,
+		func(i int) (int, error) { t.Error("fn called"); return 0, nil },
+		func(i, v int, err error) error { t.Error("sink called"); return nil })
+	if err != nil {
+		t.Error(err)
+	}
+}

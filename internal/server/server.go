@@ -33,10 +33,13 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[int]*session
-	seq      uint64
-	closed   bool
-	ln       net.Listener
-	wg       sync.WaitGroup
+	// conns tracks every live connection, including those still in the
+	// hello handshake, so Close can cut stalled reads immediately.
+	conns  map[net.Conn]struct{}
+	seq    uint64
+	closed bool
+	ln     net.Listener
+	wg     sync.WaitGroup
 
 	// wake re-triggers allocation at a Waker policy's chosen time (e.g.
 	// core.Timeout promoting expired stalls).
@@ -69,6 +72,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		start:    cfg.Now(),
 		sessions: make(map[int]*session),
+		conns:    make(map[net.Conn]struct{}),
 	}, nil
 }
 
@@ -87,8 +91,17 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
+// helloTimeout bounds how long an accepted connection may take to send
+// its hello before the server gives up on it.
+const helloTimeout = 10 * time.Second
+
 // Serve accepts connections on ln until Close. Each connection is one
-// application.
+// application. Hellos are read concurrently (a slow client cannot stall
+// the accept loop), but registration settles in accept order through a
+// chain of tickets: each handshake waits for its predecessor's to
+// finish before registering, so the policy's notion of "who came first"
+// — and which of two connections claiming the same app ID is the
+// duplicate — is the connection order, not goroutine scheduling.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -97,6 +110,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	var prev chan struct{}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -108,12 +122,32 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		done := make(chan struct{})
 		s.wg.Add(1)
-		go func() {
+		go func(prev, done chan struct{}) {
 			defer s.wg.Done()
-			s.handle(conn)
-		}()
+			s.handle(conn, prev, done)
+		}(prev, done)
+		prev = done
 	}
+}
+
+// trackConn registers a live connection for Close; it reports false when
+// the server is already shutting down.
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 // Addr returns the listen address (useful with ":0" in tests).
@@ -140,8 +174,8 @@ func (s *Server) Close() error {
 		s.wake.Stop()
 		s.wake = nil
 	}
-	for _, sess := range s.sessions {
-		sess.conn.Close()
+	for conn := range s.conns {
+		conn.Close()
 	}
 	s.mu.Unlock()
 	var err error
@@ -165,19 +199,39 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// handle runs one application's connection: a hello, then a stream of
-// request/progress/complete messages.
-func (s *Server) handle(conn net.Conn) {
+// handle runs one connection: the hello handshake (registered in accept
+// order through the prev/done ticket chain), then the application's
+// request/progress/complete message stream. done is closed exactly once,
+// after prev closed and this connection's registration attempt settled,
+// so a ticket implies every earlier connection has registered or failed.
+func (s *Server) handle(conn net.Conn, prev, done chan struct{}) {
 	defer conn.Close()
+	if !s.trackConn(conn) {
+		settle(prev, done)
+		return
+	}
+	defer s.untrackConn(conn)
+
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
-
-	sess, err := s.expectHello(conn, sc)
+	conn.SetReadDeadline(time.Now().Add(helloTimeout)) //nolint:errcheck // net.Conn deadline
+	msg, err := readHello(sc)
+	// Register between the predecessor's ticket and our own: this is
+	// what pins registration to accept order.
+	if prev != nil {
+		<-prev
+	}
+	var sess *session
+	if err == nil {
+		sess, err = s.register(conn, msg)
+	}
+	close(done)
 	if err != nil {
 		s.replyError(conn, err)
 		return
 	}
 	defer s.drop(sess)
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck // net.Conn deadline
 
 	for sc.Scan() {
 		msg, err := decode(sc.Bytes())
@@ -198,16 +252,29 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// settle closes this connection's ticket after its predecessor's.
+func settle(prev, done chan struct{}) {
+	if prev != nil {
+		<-prev
+	}
+	close(done)
+}
+
 var errBye = errors.New("server: client said bye")
 
-func (s *Server) expectHello(conn net.Conn, sc *bufio.Scanner) (*session, error) {
+// readHello reads and decodes the connection's first message.
+func readHello(sc *bufio.Scanner) (*Message, error) {
 	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("server: reading hello: %w", err)
+		}
 		return nil, errors.New("server: connection closed before hello")
 	}
-	msg, err := decode(sc.Bytes())
-	if err != nil {
-		return nil, err
-	}
+	return decode(sc.Bytes())
+}
+
+// register validates the hello and installs the session.
+func (s *Server) register(conn net.Conn, msg *Message) (*session, error) {
 	if msg.Type != TypeHello {
 		return nil, fmt.Errorf("server: first message is %q, want hello", msg.Type)
 	}
