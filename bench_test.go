@@ -90,6 +90,35 @@ func BenchmarkSimulateCongestedMoment(b *testing.B) {
 	}
 }
 
+// BenchmarkSimFig6Cell is one campaign cell of the Figure 6 sweep — the
+// system's dominant hot path after PR 1 fanned sweeps out over thousands
+// of cells. It also reports the event-kernel engine's decision economy:
+// scheduler invocations and skipped decision points per run.
+func BenchmarkSimFig6Cell(b *testing.B) {
+	wcfg := iosched.Fig6Workload(iosched.Fig6B, 7)
+	apps, err := iosched.GenerateWorkload(wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := iosched.MaxSysEff()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var decisions, skipped int
+	for i := 0; i < b.N; i++ {
+		res, err := iosched.Simulate(iosched.SimConfig{
+			Platform:  wcfg.Platform.WithoutBB(),
+			Scheduler: sched,
+			Apps:      apps,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		decisions, skipped = res.Decisions, res.Skipped
+	}
+	b.ReportMetric(float64(decisions), "decisions/run")
+	b.ReportMetric(float64(skipped), "skipped/run")
+}
+
 func BenchmarkEmulateVestaScenario(b *testing.B) {
 	for _, ranks := range []int{64, 256, 1024} {
 		b.Run(fmt.Sprintf("ranks-%d", ranks), func(b *testing.B) {

@@ -1,0 +1,171 @@
+// Command benchgate compares `go test -bench` output on stdin against a
+// committed baseline and fails when a benchmark regresses beyond the
+// allowed factors. It is the CI smoke gate for the simulator hot path:
+//
+//	go test -run '^$' -bench BenchmarkFig6aHeuristics -benchmem -benchtime 5x . |
+//	    go run ./cmd/benchgate -baseline BENCH_baseline.json -factor 2
+//
+// Two checks per benchmark:
+//
+//   - ns/op against factor × baseline: deliberately generous (shared CI
+//     runners are noisy and their hardware differs from the recording
+//     machine); it catches order-of-magnitude mistakes — an accidentally
+//     quadratic rescan — not single-digit drift.
+//   - allocs/op against alloc-factor × baseline: allocation counts are
+//     machine-independent and deterministic, so this is the tight,
+//     reliable half of the gate — a reintroduced per-event allocation
+//     fails it on any hardware (requires -benchmem output).
+//
+// Benchmarks present in only one of the two sides are ignored, so adding
+// a benchmark does not require regenerating the baseline. Use -require to
+// fail when expected benchmarks are missing from stdin (a crashed or
+// misfiltered `go test` must not pass silently).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed reference file (BENCH_baseline.json).
+type Baseline struct {
+	Recorded string `json:"recorded"`
+	Go       string `json:"go,omitempty"`
+	CPU      string `json:"cpu,omitempty"`
+	// Benchmarks maps the benchmark name (without -N GOMAXPROCS suffix)
+	// to its reference numbers.
+	Benchmarks map[string]BenchRef `json:"benchmarks"`
+	Notes      []string            `json:"notes,omitempty"`
+}
+
+// BenchRef is one benchmark's reference measurement.
+type BenchRef struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// measurement is one parsed benchmark line.
+type measurement struct {
+	nsPerOp     float64
+	allocsPerOp float64 // -1 when -benchmem was not passed
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline file")
+	factor := flag.Float64("factor", 2, "fail when ns/op exceeds baseline by this factor")
+	allocFactor := flag.Float64("alloc-factor", 1.5, "fail when allocs/op exceeds baseline by this factor")
+	require := flag.String("require", "", "comma-separated benchmark names that must appear on stdin")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal("reading baseline: %v", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal("parsing %s: %v", *baselinePath, err)
+	}
+
+	measured := parseBench(os.Stdin)
+	if len(measured) == 0 {
+		fatal("no benchmark lines on stdin (pipe `go test -bench` output in)")
+	}
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			if _, ok := measured[strings.TrimSpace(name)]; !ok {
+				fatal("required benchmark %q missing from stdin (did go test fail?)", name)
+			}
+		}
+	}
+
+	checked, failed := 0, 0
+	for name, m := range measured {
+		ref, ok := base.Benchmarks[name]
+		if !ok || ref.NsPerOp <= 0 {
+			continue
+		}
+		checked++
+		ratio := m.nsPerOp / ref.NsPerOp
+		status := "ok"
+		if ratio > *factor {
+			status = "FAIL(ns/op)"
+			failed++
+		}
+		allocNote := ""
+		if ref.AllocsPerOp > 0 && m.allocsPerOp >= 0 {
+			ar := m.allocsPerOp / ref.AllocsPerOp
+			allocNote = fmt.Sprintf("  allocs %6.0f/%6.0f (%.2fx)", m.allocsPerOp, ref.AllocsPerOp, ar)
+			if ar > *allocFactor {
+				status = "FAIL(allocs/op)"
+				failed++
+			}
+		}
+		fmt.Printf("%-40s %14.0f ns/op  baseline %14.0f  ratio %5.2f%s  %s\n",
+			name, m.nsPerOp, ref.NsPerOp, ratio, allocNote, status)
+	}
+	if checked == 0 {
+		fatal("no measured benchmark matched the baseline (names: %v)", keys(base.Benchmarks))
+	}
+	if failed > 0 {
+		fatal("%d check(s) regressed beyond ns/op %.1fx / allocs %.1fx (baseline recorded %s on %s)",
+			failed, *factor, *allocFactor, base.Recorded, base.CPU)
+	}
+}
+
+// parseBench extracts per-benchmark measurements from `go test -bench`
+// output. The trailing -N processor-count suffix is stripped so baselines
+// transfer between machines with different GOMAXPROCS.
+func parseBench(f *os.File) map[string]measurement {
+	out := map[string]measurement{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the CI log
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Benchmark<Name>[-N] <iters> <ns> ns/op [... <allocs> allocs/op]
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		m := measurement{nsPerOp: ns, allocsPerOp: -1}
+		for i := 4; i+1 < len(fields); i += 2 {
+			if fields[i+1] == "allocs/op" {
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					m.allocsPerOp = v
+				}
+			}
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		out[name] = m
+	}
+	return out
+}
+
+func keys(m map[string]BenchRef) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

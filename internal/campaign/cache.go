@@ -20,9 +20,13 @@ type CellResult struct {
 	Workload  string `json:"workload"`
 	Seed      int64  `json:"seed"`
 
-	Apps      int `json:"apps"`
-	Events    int `json:"events"`
+	Apps   int `json:"apps"`
+	Events int `json:"events"`
+	// Decisions counts scheduler invocations; Skipped counts decision
+	// points the engine resolved without invoking the scheduler (see
+	// sim.Result). Decisions+Skipped is the total decision-point count.
 	Decisions int `json:"decisions"`
+	Skipped   int `json:"skipped,omitempty"`
 
 	Summary metrics.Summary `json:"summary"`
 }

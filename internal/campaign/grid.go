@@ -12,8 +12,10 @@ import (
 
 // engineVersion participates in every cell hash. Bump it whenever the
 // simulator or the workload generator changes semantics, so stale cache
-// entries are never reused.
-const engineVersion = "iosched-sim/1"
+// entries are never reused. v2: the event-kernel engine reports skipped
+// decision points separately, so Decisions counts actual scheduler
+// invocations (per-app metrics and summaries are bit-identical to v1).
+const engineVersion = "iosched-sim/2"
 
 // Cell is one point of the campaign grid: a fully resolved simulation to
 // run.

@@ -180,6 +180,7 @@ func (r *Runner) runCell(c *Cell, apps []*platform.App) (*CellResult, error) {
 		Apps:      len(res.Apps),
 		Events:    res.Events,
 		Decisions: res.Decisions,
+		Skipped:   res.Skipped,
 		Summary:   res.Summary,
 	}, nil
 }

@@ -32,6 +32,12 @@ type appRun struct {
 
 	view core.AppView // scheduler-visible state (modified modes)
 
+	// grantRound/grantBW carry one scheduler decision's grant without a
+	// per-decision map: valid while grantRound equals the server's
+	// current round.
+	grantRound uint64
+	grantBW    float64
+
 	ioWantedAt float64 // when the current collective write was requested
 	ioTime     float64
 	finishTime float64

@@ -42,8 +42,19 @@ type pfs struct {
 	streams []*stream
 	lastT   float64
 
-	next    des.Handle
-	hasNext bool
+	// next is the file system's reschedulable next-event timer (earliest
+	// stream completion or buffer-fill crossing): created once, then
+	// moved with Reschedule on every refresh, so the steady-state event
+	// path never allocates. armed tracks whether a firing is wanted.
+	next     des.Handle
+	hasTimer bool
+	armed    bool
+
+	// fair-share scratch, reused across refreshes.
+	fair  []*stream
+	caps  []float64
+	share []float64
+	idx   []int
 }
 
 const streamEps = 1e-9
@@ -223,7 +234,7 @@ func (p *pfs) assignRates() {
 		return a.rank < b.rank
 	})
 	avail := p.capacity()
-	var fair []*stream
+	fair := p.fair[:0]
 	for _, s := range p.streams {
 		if s.controlled {
 			rate := s.setRate
@@ -240,23 +251,27 @@ func (p *pfs) assignRates() {
 		}
 	}
 	if len(fair) > 0 {
-		caps := make([]float64, len(fair))
+		n := len(fair)
+		if cap(p.caps) < n {
+			p.caps = make([]float64, n)
+			p.share = make([]float64, n)
+			p.idx = make([]int, n)
+		}
+		caps, share, idx := p.caps[:n], p.share[:n], p.idx[:n]
 		for i, s := range fair {
 			caps[i] = s.cap
 		}
-		shares := core.MaxMinFairShare(caps, avail)
+		core.MaxMinFairShareInto(share, idx, caps, avail)
 		for i, s := range fair {
-			s.rate = shares[i]
+			s.rate = share[i]
 		}
 	}
+	p.fair = fair[:0]
 }
 
-// scheduleNext (re)schedules the next completion or buffer-fill event.
+// scheduleNext (re)arms the next completion or buffer-fill event by moving
+// the file system's timer on the kernel's indexed heap.
 func (p *pfs) scheduleNext() {
-	if p.hasNext {
-		p.r.eng.Cancel(p.next)
-		p.hasNext = false
-	}
 	now := p.r.eng.Now()
 	next := -1.0
 	inflow := 0.0
@@ -277,14 +292,24 @@ func (p *pfs) scheduleNext() {
 			}
 		}
 	}
-	if next >= 0 {
-		p.next = p.r.eng.At(next, p.onEvent)
-		p.hasNext = true
+	if next < 0 {
+		if p.armed {
+			p.r.eng.Cancel(p.next)
+			p.armed = false
+		}
+		return
 	}
+	if !p.hasTimer {
+		p.next = p.r.eng.At(next, p.onEvent)
+		p.hasTimer = true
+	} else {
+		p.r.eng.Reschedule(p.next, next)
+	}
+	p.armed = true
 }
 
 func (p *pfs) onEvent() {
-	p.hasNext = false
+	p.armed = false
 	p.advance()
 	p.refresh()
 }

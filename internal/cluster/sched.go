@@ -19,6 +19,14 @@ type schedServer struct {
 	// nextWake is the time of the earliest scheduled self-wake (for
 	// Waker policies such as core.Timeout); zero when none is pending.
 	nextWake float64
+
+	// Per-decision scratch, reused across the run: candidate views and
+	// their owners, the policy's allocation buffers, and a round counter
+	// replacing the per-decision grant map.
+	views []*core.AppView
+	cands []*appRun
+	scr   core.Scratch
+	round uint64
 }
 
 // serve enqueues fn behind the server's serialized processing.
@@ -63,28 +71,36 @@ func (s *schedServer) transferDone() {
 func (s *schedServer) decide() {
 	r := s.r
 	r.pfs.advance()
-	var views []*core.AppView
-	var apps []*appRun
+	views, cands := s.views[:0], s.cands[:0]
 	for _, a := range r.apps {
 		if a.view.WantsIO() {
 			views = append(views, &a.view)
-			apps = append(apps, a)
+			cands = append(cands, a)
 		}
 	}
+	s.views, s.cands = views, cands
 	if len(views) == 0 {
 		return
 	}
 	s.decisions++
 	cap := core.Capacity{TotalBW: r.pfs.capacity(), NodeBW: r.p.NodeBW}
-	grants := r.cfg.Policy.Allocate(r.eng.Now(), views, cap)
-	granted := make(map[int]float64, len(grants))
+	grants := core.AllocateWith(r.cfg.Policy, &s.scr, r.eng.Now(), views, cap)
+	s.round++
 	for _, g := range grants {
-		granted[g.AppID] = g.BW
+		for _, a := range cands {
+			if a.cfg.ID == g.AppID {
+				a.grantRound, a.grantBW = s.round, g.BW
+				break
+			}
+		}
 	}
-	for _, a := range apps {
+	for _, a := range cands {
 		a := a
 		iter := a.iter
-		bw := granted[a.cfg.ID]
+		bw := 0.0
+		if a.grantRound == s.round {
+			bw = a.grantBW
+		}
 		r.messages++
 		r.eng.After(r.msgDelay(r.cfg.ReqLatency), func() { a.grantArrived(iter, bw, false) })
 	}

@@ -2,7 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
+
+	"repro/internal/xsort"
 )
 
 // Grant is a bandwidth assignment for one application: the aggregate rate
@@ -40,7 +41,14 @@ type Scheduler interface {
 // favored application is executed as fast as possible; applications beyond
 // the capacity are stalled.
 func GreedyAllocate(order []*AppView, cap Capacity) []Grant {
-	grants := make([]Grant, 0, len(order))
+	return GreedyAllocateAppend(make([]Grant, 0, len(order)), order, cap)
+}
+
+// GreedyAllocateAppend is GreedyAllocate writing into dst (usually a
+// scratch buffer truncated to length zero), so hot paths re-deciding at
+// every simulation event reuse one grant buffer instead of allocating per
+// decision. It returns the extended slice.
+func GreedyAllocateAppend(dst []Grant, order []*AppView, cap Capacity) []Grant {
 	avail := cap.TotalBW
 	for _, v := range order {
 		if avail <= 0 {
@@ -53,10 +61,135 @@ func GreedyAllocate(order []*AppView, cap Capacity) []Grant {
 		if bw <= 0 {
 			continue
 		}
-		grants = append(grants, Grant{AppID: v.ID, BW: bw})
+		dst = append(dst, Grant{AppID: v.ID, BW: bw})
 		avail -= bw
 	}
-	return grants
+	return dst
+}
+
+// Scratch holds the reusable buffers of one allocation call chain. An
+// engine owns one Scratch per decision thread and passes it to
+// AllocateInto on every decision; all slices grow to the high-water mark
+// of the run and are then reused, making steady-state decisions
+// allocation-free. The zero value is ready to use. A Scratch must not be
+// shared between goroutines.
+type Scratch struct {
+	order   []*AppView
+	expired []*AppView
+	rest    []*AppView
+	grants  []Grant
+	caps    []float64
+	weights []float64
+	shares  []float64
+	idx     []int
+
+	// inner is the scratch of a wrapped scheduler (Timeout), allocated on
+	// first use so plain heuristics pay nothing for it.
+	inner *Scratch
+}
+
+// Inner returns the scratch reserved for a wrapped scheduler's own
+// buffers, so wrapper and inner policy never clobber each other's slices.
+func (s *Scratch) Inner() *Scratch {
+	if s.inner == nil {
+		s.inner = &Scratch{}
+	}
+	return s.inner
+}
+
+// ScratchAllocator is implemented by schedulers whose Allocate can run out
+// of caller-owned scratch buffers. AllocateInto must return exactly the
+// grants Allocate would return for the same inputs; the returned slice
+// aliases the scratch and is only valid until the next call with the same
+// Scratch.
+type ScratchAllocator interface {
+	Scheduler
+	AllocateInto(scr *Scratch, now float64, apps []*AppView, cap Capacity) []Grant
+}
+
+// AllocateWith dispatches to AllocateInto when the scheduler supports
+// scratch reuse and falls back to the allocating Allocate path otherwise.
+func AllocateWith(s Scheduler, scr *Scratch, now float64, apps []*AppView, cap Capacity) []Grant {
+	if sa, ok := s.(ScratchAllocator); ok {
+		return sa.AllocateInto(scr, now, apps, cap)
+	}
+	return s.Allocate(now, apps, cap)
+}
+
+// Memoizable is implemented by schedulers whose decisions may be reused
+// verbatim: Allocate is a pure function of the candidate identities, their
+// discrete scheduling state (every AppView field except the continuously
+// draining RemVolume), and the capacity — independent of the decision
+// time. Engines exploit this by skipping re-allocation at events that
+// change none of those inputs (for example an application release that
+// only starts a compute phase). Time-dependent policies (the dilation- and
+// efficiency-ordered heuristics, Timeout) must not declare it: their
+// favored-first order can flip through the mere passage of time.
+type Memoizable interface {
+	// Memoizable reports whether decisions may be reused while the
+	// discrete inputs are unchanged.
+	Memoizable() bool
+}
+
+// Saturating is implemented by schedulers that grant every candidate
+// exactly its full per-application cap β·b whenever the total demand
+// Σ β·b fits within the available capacity. All greedy favored-first
+// heuristics and both fair-share baselines qualify (ordering only matters
+// under congestion); Exclusive does not (it serves one application even
+// when everyone would fit). Engines exploit this with an uncongested fast
+// path that applies the known full-cap outcome without invoking the
+// policy at all.
+type Saturating interface {
+	// Saturating reports whether an uncongested decision always grants
+	// every candidate its full cap.
+	Saturating() bool
+}
+
+// SingleFullGrant is implemented by schedulers whose decision for a
+// candidate set of size one is always exactly min(β·b, B): the sole
+// requester is served as fast as the hardware allows, independent of the
+// decision time. True for every greedy favored-first heuristic (ordering
+// one element is trivial), for max-min fair sharing, for Exclusive, and
+// for Timeout over such an inner policy. Engines resolve single-candidate
+// decision points without invoking the policy. ProportionalShare must not
+// declare it: its weighted share computes total·w/w, which can round a
+// ulp away from min(β·b, B).
+type SingleFullGrant interface {
+	// SingleFullGrant reports whether a one-candidate decision always
+	// grants exactly min(β·b, B).
+	SingleFullGrant() bool
+}
+
+// IsSingleFullGrant reports whether the scheduler declares the
+// single-candidate fast path.
+func IsSingleFullGrant(s Scheduler) bool {
+	g, ok := s.(SingleFullGrant)
+	return ok && g.SingleFullGrant()
+}
+
+// IsMemoizable reports whether the scheduler declares reusable decisions.
+func IsMemoizable(s Scheduler) bool {
+	m, ok := s.(Memoizable)
+	return ok && m.Memoizable()
+}
+
+// IsSaturating reports whether the scheduler declares the uncongested
+// full-cap property.
+func IsSaturating(s Scheduler) bool {
+	sat, ok := s.(Saturating)
+	return ok && sat.Saturating()
+}
+
+// sortViewsStable sorts views in place, stably and allocation-free.
+// Stable sorts have a unique output, so results are bit-identical to
+// sort.SliceStable.
+func sortViewsStable(v []*AppView, less func(a, b *AppView) bool) {
+	xsort.Stable(v, less)
+}
+
+// sortIntsBy sorts idx in place by less, stably; allocation-free.
+func sortIntsBy(idx []int, less func(a, b int) bool) {
+	xsort.Stable(idx, less)
 }
 
 // MaxMinFairShare computes the max-min fair allocation of total bandwidth
@@ -67,21 +200,32 @@ func GreedyAllocate(order []*AppView, cap Capacity) []Grant {
 // concurrent streams alike, and stands in for the production Intrepid/Mira
 // I/O schedulers.
 func MaxMinFairShare(caps []float64, total float64) []float64 {
+	out := make([]float64, len(caps))
+	MaxMinFairShareInto(out, make([]int, len(caps)), caps, total)
+	return out
+}
+
+// MaxMinFairShareInto is MaxMinFairShare writing into out, with idx as
+// index scratch; out and idx must have the length of caps. Engines that
+// re-share bandwidth at every event use it to keep the hot path
+// allocation-free.
+func MaxMinFairShareInto(out []float64, idx []int, caps []float64, total float64) {
 	n := len(caps)
-	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0
+	}
 	if n == 0 || total <= 0 {
-		return out
+		return
 	}
 	// Sort indices by cap ascending; saturate small caps first.
-	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		if caps[idx[a]] != caps[idx[b]] {
-			return caps[idx[a]] < caps[idx[b]]
+	sortIntsBy(idx, func(a, b int) bool {
+		if caps[a] != caps[b] {
+			return caps[a] < caps[b]
 		}
-		return idx[a] < idx[b]
+		return a < b
 	})
 	remaining := total
 	left := n
@@ -98,7 +242,6 @@ func MaxMinFairShare(caps []float64, total float64) []float64 {
 		remaining -= bw
 		left--
 	}
-	return out
 }
 
 // WeightedFairShare computes the weighted max-min fair allocation:
@@ -106,10 +249,20 @@ func MaxMinFairShare(caps []float64, total float64) []float64 {
 // in proportion to their weights, capping each at its own limit. Equal
 // weights reduce it to MaxMinFairShare.
 func WeightedFairShare(caps, weights []float64, total float64) []float64 {
+	out := make([]float64, len(caps))
+	weightedFairShareInto(out, make([]int, len(caps)), caps, weights, total)
+	return out
+}
+
+// weightedFairShareInto is WeightedFairShare writing into out, with idx as
+// index scratch; out and idx must have the length of caps.
+func weightedFairShareInto(out []float64, idx []int, caps, weights []float64, total float64) {
 	n := len(caps)
-	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0
+	}
 	if n == 0 || total <= 0 {
-		return out
+		return
 	}
 	if len(weights) != n {
 		panic(fmt.Sprintf("core: %d weights for %d caps", len(weights), n))
@@ -117,7 +270,6 @@ func WeightedFairShare(caps, weights []float64, total float64) []float64 {
 	// Saturate in increasing order of cap/weight: once an application's
 	// proportional share exceeds its cap it stays capped as the shares of
 	// the others can only grow.
-	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
@@ -127,12 +279,12 @@ func WeightedFairShare(caps, weights []float64, total float64) []float64 {
 		}
 		return caps[i] / weights[i]
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		ra, rb := ratio(idx[a]), ratio(idx[b])
+	sortIntsBy(idx, func(a, b int) bool {
+		ra, rb := ratio(a), ratio(b)
 		if ra != rb {
 			return ra < rb
 		}
-		return idx[a] < idx[b]
+		return a < b
 	})
 	remaining := total
 	var weightLeft float64
@@ -155,7 +307,6 @@ func WeightedFairShare(caps, weights []float64, total float64) []float64 {
 		remaining -= bw
 		weightLeft -= weights[i]
 	}
-	return out
 }
 
 // ValidateGrants reports whether grants respect the capacity constraints

@@ -1,9 +1,6 @@
 package core
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // OrderFunc sorts the candidate applications into favored-first order.
 // It must be a strict weak ordering and deterministic; ties are broken by
@@ -19,9 +16,15 @@ type Heuristic struct {
 	name     string
 	order    OrderFunc
 	Priority bool
+
+	// memoizable marks orderings that read only discrete AppView state
+	// (LastIOEnd, Started, ...) and never the decision time, so engines
+	// may reuse a decision while those inputs are unchanged.
+	memoizable bool
 }
 
 var _ Scheduler = (*Heuristic)(nil)
+var _ ScratchAllocator = (*Heuristic)(nil)
 
 // Name implements Scheduler.
 func (h *Heuristic) Name() string {
@@ -42,21 +45,52 @@ func (h *Heuristic) WithPriority() *Heuristic {
 	return &c
 }
 
+// Memoizable implements the engine capability: true only for orderings
+// that are pure functions of discrete application state. The Priority
+// partition reads Started, which is also discrete, so it preserves the
+// property.
+func (h *Heuristic) Memoizable() bool { return h.memoizable }
+
+// Saturating implements the engine capability: greedy favored-first
+// allocation hands every candidate its full cap when the total demand
+// fits, whatever the order.
+func (h *Heuristic) Saturating() bool { return true }
+
+// SingleFullGrant implements the engine capability: greedy allocation of a
+// single candidate is min(β·b, B) under any ordering.
+func (h *Heuristic) SingleFullGrant() bool { return true }
+
 // Allocate implements Scheduler: sort candidates favored-first, then grant
 // greedily.
 func (h *Heuristic) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
-	order := make([]*AppView, len(apps))
-	copy(order, apps)
-	sort.Slice(order, func(i, j int) bool { return order[i].ID < order[j].ID })
+	var scr Scratch
+	return h.AllocateInto(&scr, now, apps, cap)
+}
+
+// AllocateInto implements ScratchAllocator: identical decisions to
+// Allocate, reusing the scratch's order and grant buffers.
+func (h *Heuristic) AllocateInto(scr *Scratch, now float64, apps []*AppView, cap Capacity) []Grant {
+	scr.order = append(scr.order[:0], apps...)
+	order := scr.order
+	sortViewsStable(order, func(a, b *AppView) bool { return a.ID < b.ID })
 	h.order(now, order)
 	if h.Priority {
 		// Stable partition: started transfers first, preserving the
 		// heuristic order inside each group.
-		sort.SliceStable(order, func(i, j int) bool {
-			return order[i].Started && !order[j].Started
+		sortViewsStable(order, func(a, b *AppView) bool {
+			return a.Started && !b.Started
 		})
 	}
-	return GreedyAllocate(order, cap)
+	scr.grants = GreedyAllocateAppend(scr.grants[:0], order, cap)
+	return scr.grants
+}
+
+// byLastIOEnd orders by the completion time of the last finished I/O,
+// oldest first.
+func byLastIOEnd(now float64, apps []*AppView) {
+	sortViewsStable(apps, func(a, b *AppView) bool {
+		return a.LastIOEnd < b.LastIOEnd
+	})
 }
 
 // RoundRobin returns the paper's comparison baseline heuristic: FCFS with a
@@ -65,12 +99,9 @@ func (h *Heuristic) Allocate(now float64, apps []*AppView, cap Capacity) []Grant
 // longest time ago is favored.
 func RoundRobin() *Heuristic {
 	return &Heuristic{
-		name: "RoundRobin",
-		order: func(now float64, apps []*AppView) {
-			sort.SliceStable(apps, func(i, j int) bool {
-				return apps[i].LastIOEnd < apps[j].LastIOEnd
-			})
-		},
+		name:       "RoundRobin",
+		order:      byLastIOEnd,
+		memoizable: true,
 	}
 }
 
@@ -81,8 +112,8 @@ func MinDilation() *Heuristic {
 	return &Heuristic{
 		name: "MinDilation",
 		order: func(now float64, apps []*AppView) {
-			sort.SliceStable(apps, func(i, j int) bool {
-				return apps[i].Ratio(now) < apps[j].Ratio(now)
+			sortViewsStable(apps, func(a, b *AppView) bool {
+				return a.Ratio(now) < b.Ratio(now)
 			})
 		},
 	}
@@ -94,8 +125,8 @@ func MaxSysEff() *Heuristic {
 	return &Heuristic{
 		name: "MaxSysEff",
 		order: func(now float64, apps []*AppView) {
-			sort.SliceStable(apps, func(i, j int) bool {
-				return apps[i].WeightedEff(now) < apps[j].WeightedEff(now)
+			sortViewsStable(apps, func(a, b *AppView) bool {
+				return a.WeightedEff(now) < b.WeightedEff(now)
 			})
 		},
 	}
@@ -120,13 +151,13 @@ func MinMax(gamma float64) *Heuristic {
 				}
 			}
 			if below {
-				sort.SliceStable(apps, func(i, j int) bool {
-					return apps[i].Ratio(now) < apps[j].Ratio(now)
+				sortViewsStable(apps, func(a, b *AppView) bool {
+					return a.Ratio(now) < b.Ratio(now)
 				})
 				return
 			}
-			sort.SliceStable(apps, func(i, j int) bool {
-				return apps[i].WeightedEff(now) < apps[j].WeightedEff(now)
+			sortViewsStable(apps, func(a, b *AppView) bool {
+				return a.WeightedEff(now) < b.WeightedEff(now)
 			})
 		},
 	}
@@ -139,27 +170,48 @@ func MinMax(gamma float64) *Heuristic {
 type FairShare struct{}
 
 var _ Scheduler = FairShare{}
+var _ ScratchAllocator = FairShare{}
 
 // Name implements Scheduler.
 func (FairShare) Name() string { return "fair-share" }
 
+// Memoizable implements the engine capability: max-min sharing reads only
+// node counts and capacity.
+func (FairShare) Memoizable() bool { return true }
+
+// Saturating implements the engine capability: max-min sharing caps every
+// application at β·b, which all receive when the demand fits.
+func (FairShare) Saturating() bool { return true }
+
+// SingleFullGrant implements the engine capability: a lone candidate's
+// max-min share is exactly min(β·b, B).
+func (FairShare) SingleFullGrant() bool { return true }
+
 // Allocate implements Scheduler.
-func (FairShare) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
-	order := make([]*AppView, len(apps))
-	copy(order, apps)
-	sort.Slice(order, func(i, j int) bool { return order[i].ID < order[j].ID })
-	caps := make([]float64, len(order))
+func (f FairShare) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
+	var scr Scratch
+	return f.AllocateInto(&scr, now, apps, cap)
+}
+
+// AllocateInto implements ScratchAllocator.
+func (FairShare) AllocateInto(scr *Scratch, now float64, apps []*AppView, cap Capacity) []Grant {
+	scr.order = append(scr.order[:0], apps...)
+	order := scr.order
+	sortViewsStable(order, func(a, b *AppView) bool { return a.ID < b.ID })
+	scr.caps = growFloats(scr.caps, len(order))
+	scr.shares = growFloats(scr.shares, len(order))
+	scr.idx = growInts(scr.idx, len(order))
 	for i, v := range order {
-		caps[i] = float64(v.Nodes) * cap.NodeBW
+		scr.caps[i] = float64(v.Nodes) * cap.NodeBW
 	}
-	shares := MaxMinFairShare(caps, cap.TotalBW)
-	grants := make([]Grant, 0, len(order))
+	MaxMinFairShareInto(scr.shares, scr.idx, scr.caps, cap.TotalBW)
+	scr.grants = scr.grants[:0]
 	for i, v := range order {
-		if shares[i] > 0 {
-			grants = append(grants, Grant{AppID: v.ID, BW: shares[i]})
+		if scr.shares[i] > 0 {
+			scr.grants = append(scr.grants, Grant{AppID: v.ID, BW: scr.shares[i]})
 		}
 	}
-	return grants
+	return scr.grants
 }
 
 // ProportionalShare is a baseline that splits bandwidth proportionally to
@@ -171,29 +223,44 @@ func (FairShare) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
 type ProportionalShare struct{}
 
 var _ Scheduler = ProportionalShare{}
+var _ ScratchAllocator = ProportionalShare{}
 
 // Name implements Scheduler.
 func (ProportionalShare) Name() string { return "proportional-share" }
 
+// Memoizable implements the engine capability.
+func (ProportionalShare) Memoizable() bool { return true }
+
+// Saturating implements the engine capability.
+func (ProportionalShare) Saturating() bool { return true }
+
 // Allocate implements Scheduler.
-func (ProportionalShare) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
-	order := make([]*AppView, len(apps))
-	copy(order, apps)
-	sort.Slice(order, func(i, j int) bool { return order[i].ID < order[j].ID })
-	caps := make([]float64, len(order))
-	weights := make([]float64, len(order))
+func (p ProportionalShare) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
+	var scr Scratch
+	return p.AllocateInto(&scr, now, apps, cap)
+}
+
+// AllocateInto implements ScratchAllocator.
+func (ProportionalShare) AllocateInto(scr *Scratch, now float64, apps []*AppView, cap Capacity) []Grant {
+	scr.order = append(scr.order[:0], apps...)
+	order := scr.order
+	sortViewsStable(order, func(a, b *AppView) bool { return a.ID < b.ID })
+	scr.caps = growFloats(scr.caps, len(order))
+	scr.weights = growFloats(scr.weights, len(order))
+	scr.shares = growFloats(scr.shares, len(order))
+	scr.idx = growInts(scr.idx, len(order))
 	for i, v := range order {
-		caps[i] = float64(v.Nodes) * cap.NodeBW
-		weights[i] = float64(v.Nodes)
+		scr.caps[i] = float64(v.Nodes) * cap.NodeBW
+		scr.weights[i] = float64(v.Nodes)
 	}
-	shares := WeightedFairShare(caps, weights, cap.TotalBW)
-	grants := make([]Grant, 0, len(order))
+	weightedFairShareInto(scr.shares, scr.idx, scr.caps, scr.weights, cap.TotalBW)
+	scr.grants = scr.grants[:0]
 	for i, v := range order {
-		if shares[i] > 0 {
-			grants = append(grants, Grant{AppID: v.ID, BW: shares[i]})
+		if scr.shares[i] > 0 {
+			scr.grants = append(scr.grants, Grant{AppID: v.ID, BW: scr.shares[i]})
 		}
 	}
-	return grants
+	return scr.grants
 }
 
 // Exclusive is a degenerate scheduler that serves a single application at a
@@ -202,12 +269,28 @@ func (ProportionalShare) Allocate(now float64, apps []*AppView, cap Capacity) []
 type Exclusive struct{}
 
 var _ Scheduler = Exclusive{}
+var _ ScratchAllocator = Exclusive{}
 
 // Name implements Scheduler.
 func (Exclusive) Name() string { return "exclusive-fcfs" }
 
+// Memoizable implements the engine capability: the choice reads only
+// LastIOEnd and IDs. Exclusive is deliberately not Saturating — it stalls
+// everyone but one application even without congestion.
+func (Exclusive) Memoizable() bool { return true }
+
+// SingleFullGrant implements the engine capability: with one candidate
+// the exclusive choice is that candidate, at min(β·b, B).
+func (Exclusive) SingleFullGrant() bool { return true }
+
 // Allocate implements Scheduler.
-func (Exclusive) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
+func (e Exclusive) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
+	var scr Scratch
+	return e.AllocateInto(&scr, now, apps, cap)
+}
+
+// AllocateInto implements ScratchAllocator.
+func (Exclusive) AllocateInto(scr *Scratch, now float64, apps []*AppView, cap Capacity) []Grant {
 	if len(apps) == 0 {
 		return nil
 	}
@@ -222,7 +305,26 @@ func (Exclusive) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
 	if bw > cap.TotalBW {
 		bw = cap.TotalBW
 	}
-	return []Grant{{AppID: best.ID, BW: bw}}
+	scr.grants = append(scr.grants[:0], Grant{AppID: best.ID, BW: bw})
+	return scr.grants
+}
+
+// growFloats returns a float64 scratch slice of length n, reusing s's
+// storage when it is large enough.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growInts returns an int scratch slice of length n, reusing s's storage
+// when it is large enough.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // AllHeuristics returns the full set evaluated in Figure 6: the four base

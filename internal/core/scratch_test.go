@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomViews builds a deterministic pseudo-random candidate slice with
+// the full spread of discrete states a decision can see.
+func randomViews(rng *rand.Rand, n int) []*AppView {
+	views := make([]*AppView, n)
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		w := 10 + rng.Float64()*500
+		ideal := w + rng.Float64()*100
+		v := &AppView{
+			ID:            perm[i]*3 + 1, // non-contiguous, shuffled IDs
+			Nodes:         1 << uint(rng.Intn(8)),
+			Release:       rng.Float64() * 50,
+			Phase:         Pending,
+			RemVolume:     rng.Float64() * 200,
+			Started:       rng.Intn(2) == 0,
+			LastIOEnd:     rng.Float64() * 300,
+			PendingSince:  rng.Float64() * 300,
+			CreditedWork:  w,
+			CreditedIdeal: ideal,
+		}
+		if rng.Intn(3) == 0 {
+			v.Phase = Transferring
+		}
+		if rng.Intn(4) == 0 {
+			v.CreditedWork, v.CreditedIdeal = 0, 0
+		}
+		views[i] = v
+	}
+	return views
+}
+
+func grantsEqual(a, b []Grant) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAllocateIntoMatchesAllocate pins the ScratchAllocator contract:
+// AllocateInto returns bit-identical grants to Allocate on every scheduler
+// shipped with the package, across candidate-set sizes and capacity
+// regimes, while reusing one Scratch across all calls.
+func TestAllocateIntoMatchesAllocate(t *testing.T) {
+	scheds := []Scheduler{
+		RoundRobin(), RoundRobin().WithPriority(),
+		MinDilation(), MinDilation().WithPriority(),
+		MaxSysEff(), MaxSysEff().WithPriority(),
+		MinMax(0.5), MinMax(0.5).WithPriority(),
+		FairShare{}, ProportionalShare{}, Exclusive{},
+		NewTimeout(MaxSysEff(), 40),
+		NewTimeout(FairShare{}, 40),
+		NewTimeout(NewTimeout(RoundRobin(), 80), 40),
+	}
+	for _, sched := range scheds {
+		sa, ok := sched.(ScratchAllocator)
+		if !ok {
+			t.Errorf("%s does not implement ScratchAllocator", sched.Name())
+			continue
+		}
+		rng := rand.New(rand.NewSource(7))
+		var scr Scratch // reused across every call below
+		for trial := 0; trial < 50; trial++ {
+			n := 1 + rng.Intn(20)
+			views := randomViews(rng, n)
+			now := 300 + rng.Float64()*100
+			// Sweep congestion regimes: ample, tight, and starved.
+			for _, total := range []float64{1e6, 40, 3} {
+				cap := Capacity{TotalBW: total, NodeBW: 0.25}
+				want := sched.Allocate(now, views, cap)
+				got := sa.AllocateInto(&scr, now, views, cap)
+				if !grantsEqual(got, want) {
+					t.Fatalf("%s: scratch grants differ at trial %d (total=%g):\n got %v\nwant %v",
+						sched.Name(), trial, total, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAllocateWithFallsBack exercises the dispatch helper on a scheduler
+// without scratch support.
+type opaqueSched struct{}
+
+func (opaqueSched) Name() string { return "opaque" }
+func (opaqueSched) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
+	return GreedyAllocate(apps, cap)
+}
+
+func TestAllocateWithFallsBack(t *testing.T) {
+	views := randomViews(rand.New(rand.NewSource(1)), 5)
+	cap := Capacity{TotalBW: 10, NodeBW: 0.25}
+	var scr Scratch
+	got := AllocateWith(opaqueSched{}, &scr, 0, views, cap)
+	want := GreedyAllocate(views, cap)
+	if !grantsEqual(got, want) {
+		t.Fatalf("fallback grants differ: %v vs %v", got, want)
+	}
+	if IsMemoizable(opaqueSched{}) || IsSaturating(opaqueSched{}) {
+		t.Error("opaque scheduler must not advertise capabilities")
+	}
+}
+
+// TestCapabilities pins which schedulers declare which engine capability:
+// skipping correctness hangs on these bits, so changing one is a
+// deliberate act.
+func TestCapabilities(t *testing.T) {
+	cases := []struct {
+		s          Scheduler
+		memoizable bool
+		saturating bool
+		singleFull bool
+	}{
+		{RoundRobin(), true, true, true},
+		{RoundRobin().WithPriority(), true, true, true},
+		{MinDilation(), false, true, true},
+		{MaxSysEff(), false, true, true},
+		{MinMax(0.5), false, true, true},
+		{FairShare{}, true, true, true},
+		{ProportionalShare{}, true, true, false},
+		{Exclusive{}, true, false, true},
+		{NewTimeout(MaxSysEff(), 10), false, true, true},
+		{NewTimeout(Exclusive{}, 10), false, false, true},
+		{NewTimeout(ProportionalShare{}, 10), false, true, false},
+	}
+	for _, c := range cases {
+		if got := IsMemoizable(c.s); got != c.memoizable {
+			t.Errorf("%s: Memoizable = %v, want %v", c.s.Name(), got, c.memoizable)
+		}
+		if got := IsSaturating(c.s); got != c.saturating {
+			t.Errorf("%s: Saturating = %v, want %v", c.s.Name(), got, c.saturating)
+		}
+		if got := IsSingleFullGrant(c.s); got != c.singleFull {
+			t.Errorf("%s: SingleFullGrant = %v, want %v", c.s.Name(), got, c.singleFull)
+		}
+	}
+}
+
+// TestSingleFullGrantContract verifies the property the single-candidate
+// fast path relies on: one candidate always receives exactly min(β·b, B).
+func TestSingleFullGrantContract(t *testing.T) {
+	scheds := []Scheduler{
+		RoundRobin(), MinDilation(), MaxSysEff().WithPriority(), MinMax(0.75),
+		FairShare{}, Exclusive{}, NewTimeout(MinDilation(), 25),
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, sched := range scheds {
+		if !IsSingleFullGrant(sched) {
+			t.Fatalf("%s should declare SingleFullGrant", sched.Name())
+		}
+		for trial := 0; trial < 30; trial++ {
+			v := randomViews(rng, 1)[0]
+			// Sweep both regimes: card-limited and link-limited.
+			for _, total := range []float64{1e6, 0.7} {
+				cap := Capacity{TotalBW: total, NodeBW: 0.25}
+				want := float64(v.Nodes) * cap.NodeBW
+				if want > cap.TotalBW {
+					want = cap.TotalBW
+				}
+				grants := sched.Allocate(500+rng.Float64()*100, []*AppView{v}, cap)
+				if len(grants) != 1 || grants[0].AppID != v.ID || grants[0].BW != want {
+					t.Fatalf("%s: single-candidate grants = %v, want [{%d %g}]",
+						sched.Name(), grants, v.ID, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSaturatingContract verifies the property the uncongested fast path
+// relies on: when Σ β·b fits the capacity, every Saturating scheduler
+// grants every candidate exactly its full cap.
+func TestSaturatingContract(t *testing.T) {
+	scheds := []Scheduler{
+		RoundRobin(), MinDilation().WithPriority(), MaxSysEff(), MinMax(0.25),
+		FairShare{}, ProportionalShare{}, NewTimeout(MinDilation(), 25),
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, sched := range scheds {
+		if !IsSaturating(sched) {
+			t.Fatalf("%s should be saturating", sched.Name())
+		}
+		for trial := 0; trial < 20; trial++ {
+			views := randomViews(rng, 1+rng.Intn(12))
+			cap := Capacity{NodeBW: 0.25}
+			for _, v := range views {
+				cap.TotalBW += float64(v.Nodes) * cap.NodeBW
+			}
+			cap.TotalBW *= 1.25 // headroom: clearly uncongested
+			grants := sched.Allocate(400+rng.Float64()*100, views, cap)
+			if len(grants) != len(views) {
+				t.Fatalf("%s: %d grants for %d candidates", sched.Name(), len(grants), len(views))
+			}
+			full := make(map[int]float64, len(views))
+			for _, v := range views {
+				full[v.ID] = float64(v.Nodes) * cap.NodeBW
+			}
+			for _, g := range grants {
+				if g.BW != full[g.AppID] {
+					t.Fatalf("%s: app %d granted %g, want full cap %g",
+						sched.Name(), g.AppID, g.BW, full[g.AppID])
+				}
+			}
+		}
+	}
+}
+
+// TestGreedyAllocateAppendMatches pins the append variant to the
+// allocating one.
+func TestGreedyAllocateAppendMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	buf := make([]Grant, 0, 4)
+	for trial := 0; trial < 40; trial++ {
+		views := randomViews(rng, 1+rng.Intn(15))
+		cap := Capacity{TotalBW: rng.Float64() * 30, NodeBW: 0.25}
+		want := GreedyAllocate(views, cap)
+		buf = GreedyAllocateAppend(buf[:0], views, cap)
+		if !grantsEqual(buf, want) {
+			t.Fatalf("append variant differs: %v vs %v", buf, want)
+		}
+	}
+}

@@ -1,9 +1,6 @@
 package core
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Timeout wraps a scheduler with the paper's wait-time control: "the
 // scheduler controls the wait time for all applications and can make sure
@@ -19,6 +16,7 @@ type Timeout struct {
 
 var _ Scheduler = Timeout{}
 var _ Waker = Timeout{}
+var _ ScratchAllocator = Timeout{}
 
 // Waker is implemented by schedulers that need decision points at times of
 // their own choosing, in addition to the model's I/O events. The engines
@@ -69,13 +67,33 @@ func (t Timeout) Name() string {
 	return fmt.Sprintf("Timeout-%g(%s)", t.MaxWait, t.Inner.Name())
 }
 
+// Saturating implements the engine capability by delegation: when every
+// candidate can be served at its full cap, nobody stalls past the window,
+// so the expired partition is empty and the wrapper inherits the inner
+// policy's uncongested behaviour.
+func (t Timeout) Saturating() bool { return IsSaturating(t.Inner) }
+
+// SingleFullGrant implements the engine capability by delegation: whether
+// the lone candidate is expired (greedy at full card bandwidth) or not
+// (inner policy, one candidate), the grant is min(β·b, B) as long as the
+// inner policy guarantees it.
+func (t Timeout) SingleFullGrant() bool { return IsSingleFullGrant(t.Inner) }
+
 // Allocate implements Scheduler: expired stalls first (oldest first, at
 // full card bandwidth), then the inner policy over the remaining capacity.
 // An application counts as expired when it is currently stalled (Pending)
 // and its stall began more than MaxWait ago — this covers both requests
 // never served and transfers preempted for too long.
 func (t Timeout) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
-	var expired, rest []*AppView
+	var scr Scratch
+	return t.AllocateInto(&scr, now, apps, cap)
+}
+
+// AllocateInto implements ScratchAllocator. The wrapper partitions into
+// the outer scratch and hands the inner policy the scratch's Inner(), so
+// the two never clobber each other's buffers.
+func (t Timeout) AllocateInto(scr *Scratch, now float64, apps []*AppView, cap Capacity) []Grant {
+	expired, rest := scr.expired[:0], scr.rest[:0]
 	for _, v := range apps {
 		if v.Phase == Pending && now-v.PendingSince > t.MaxWait {
 			expired = append(expired, v)
@@ -83,16 +101,17 @@ func (t Timeout) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
 			rest = append(rest, v)
 		}
 	}
+	scr.expired, scr.rest = expired, rest
 	if len(expired) == 0 {
-		return t.Inner.Allocate(now, apps, cap)
+		return AllocateWith(t.Inner, scr.Inner(), now, apps, cap)
 	}
-	sort.Slice(expired, func(i, j int) bool {
-		if expired[i].PendingSince != expired[j].PendingSince {
-			return expired[i].PendingSince < expired[j].PendingSince
+	sortViewsStable(expired, func(a, b *AppView) bool {
+		if a.PendingSince != b.PendingSince {
+			return a.PendingSince < b.PendingSince
 		}
-		return expired[i].ID < expired[j].ID
+		return a.ID < b.ID
 	})
-	grants := GreedyAllocate(expired, cap)
+	grants := GreedyAllocateAppend(scr.grants[:0], expired, cap)
 	var used float64
 	for _, g := range grants {
 		used += g.BW
@@ -100,7 +119,8 @@ func (t Timeout) Allocate(now float64, apps []*AppView, cap Capacity) []Grant {
 	remaining := cap
 	remaining.TotalBW -= used
 	if remaining.TotalBW > 0 && len(rest) > 0 {
-		grants = append(grants, t.Inner.Allocate(now, rest, remaining)...)
+		grants = append(grants, AllocateWith(t.Inner, scr.Inner(), now, rest, remaining)...)
 	}
+	scr.grants = grants
 	return grants
 }

@@ -2,12 +2,17 @@
 //
 // Events are ordered by (time, sequence number): two events scheduled for
 // the same instant fire in the order they were scheduled, which makes every
-// simulation built on the engine fully deterministic.
+// simulation built on the engine fully deterministic. Rescheduling assigns
+// a fresh sequence number, so among events sharing an instant the most
+// recently (re)scheduled one fires last — "schedule order" extends
+// naturally to timer updates.
 //
-// The engine is the substrate for the rank-level cluster emulator
-// (internal/cluster). The coarser application-level simulator
-// (internal/sim) recomputes its own next-event times analytically and does
-// not need callback scheduling.
+// The engine is the shared event kernel for both execution engines: the
+// rank-level cluster emulator (internal/cluster) drives everything through
+// it, and the application-level simulator (internal/sim) keeps its per-app
+// phase deadlines in it as reschedulable timers. An event created once and
+// moved with Reschedule never allocates again, which is what makes the
+// steady-state fire path of both engines allocation-free.
 package des
 
 import (
@@ -111,6 +116,50 @@ func (e *Engine) Cancel(h Handle) bool {
 	return true
 }
 
+// Pending reports whether the event is still queued.
+func (e *Engine) Pending(h Handle) bool {
+	return h.ev != nil && h.ev.index >= 0
+}
+
+// When returns the scheduled time of a still-queued event; ok is false for
+// a zero handle or an event that already fired or was cancelled.
+func (e *Engine) When(h Handle) (t float64, ok bool) {
+	if h.ev == nil || h.ev.index < 0 {
+		return 0, false
+	}
+	return h.ev.time, true
+}
+
+// Reschedule moves the event to absolute time t, re-arming it if it has
+// already fired or been cancelled: the handle is an updatable timer whose
+// callback survives across firings, so moving it never allocates. A target
+// in the past clamps to now (rescheduling races the clock by design — a
+// timer pulled earlier than the current instant means "as soon as
+// possible", unlike At where a past time is a logic error). The event
+// receives a fresh sequence number, so among same-instant events it fires
+// in (re)schedule order. Rescheduling a zero Handle reports false.
+func (e *Engine) Reschedule(h Handle, t float64) bool {
+	ev := h.ev
+	if ev == nil {
+		return false
+	}
+	if math.IsNaN(t) {
+		panic("des: rescheduling event to NaN")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev.time = t
+	ev.seq = e.seq
+	e.seq++
+	if ev.index >= 0 {
+		heap.Fix(&e.events, ev.index)
+	} else {
+		heap.Push(&e.events, ev)
+	}
+	return true
+}
+
 // Step executes the next event, advancing the clock. It reports whether an
 // event was executed.
 func (e *Engine) Step() bool {
@@ -119,6 +168,24 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.events).(*event)
 	e.now = ev.time
+	e.steps++
+	ev.fn()
+	return true
+}
+
+// StepDue executes the next event only if it is scheduled no later than t,
+// advancing the clock to the event's time. It reports whether an event was
+// executed. This is the fire path for callers that batch events inside a
+// simultaneity window (time <= t) without advancing past it; it performs
+// no allocation.
+func (e *Engine) StepDue(t float64) bool {
+	if len(e.events) == 0 || e.events[0].time > t {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	if ev.time > e.now {
+		e.now = ev.time
+	}
 	e.steps++
 	ev.fn()
 	return true
@@ -158,4 +225,15 @@ func (e *Engine) NextTime() (float64, bool) {
 		return 0, false
 	}
 	return e.events[0].time, true
+}
+
+// Peek returns the time of the next pending event without executing it,
+// or +Inf if the queue is empty. It is NextTime shaped for next-event-time
+// minimization loops: min(engine.Peek(), other sources...) needs no ok
+// branch.
+func (e *Engine) Peek() float64 {
+	if len(e.events) == 0 {
+		return math.Inf(1)
+	}
+	return e.events[0].time
 }

@@ -146,6 +146,216 @@ func TestNextTime(t *testing.T) {
 	}
 }
 
+func TestPeek(t *testing.T) {
+	var e Engine
+	if got := e.Peek(); !math.IsInf(got, 1) {
+		t.Errorf("empty Peek = %g, want +Inf", got)
+	}
+	h := e.At(7, func() {})
+	if got := e.Peek(); got != 7 {
+		t.Errorf("Peek = %g, want 7", got)
+	}
+	e.At(3, func() {})
+	if got := e.Peek(); got != 3 {
+		t.Errorf("Peek = %g, want 3", got)
+	}
+	e.Cancel(h)
+	if got := e.Peek(); got != 3 {
+		t.Errorf("Peek after cancel = %g, want 3", got)
+	}
+}
+
+func TestRescheduleMovesEvent(t *testing.T) {
+	var e Engine
+	var got []int
+	h := e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	if !e.Reschedule(h, 3) {
+		t.Fatal("Reschedule reported failure")
+	}
+	if w, ok := e.When(h); !ok || w != 3 {
+		t.Fatalf("When = %g/%v, want 3/true", w, ok)
+	}
+	e.Run()
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Errorf("got %v, want [2 1]", got)
+	}
+}
+
+// Rescheduling onto an instant that already has queued events fires the
+// rescheduled event last: a fresh sequence number keeps same-instant
+// execution in (re)schedule order.
+func TestRescheduleSameInstantFiresInScheduleOrder(t *testing.T) {
+	var e Engine
+	var got []int
+	h := e.At(1, func() { got = append(got, 0) })
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Reschedule(h, 5) // joins the t=5 cohort last
+	e.Run()
+	want := []int{1, 2, 3, 0}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRescheduleToPastClampsToNow(t *testing.T) {
+	var e Engine
+	var firedAt float64
+	var h Handle
+	e.At(10, func() {
+		h = e.At(20, func() { firedAt = e.Now() })
+	})
+	e.RunUntil(10)
+	if !e.Reschedule(h, 4) {
+		t.Fatal("Reschedule reported failure")
+	}
+	if w, ok := e.When(h); !ok || w != 10 {
+		t.Fatalf("When after past reschedule = %g/%v, want clamp to 10", w, ok)
+	}
+	e.Run()
+	if firedAt != 10 {
+		t.Errorf("fired at %g, want 10 (clamped to now)", firedAt)
+	}
+}
+
+// Cancel then Reschedule re-arms the same event without allocating a new
+// one; the callback fires exactly once at the new time.
+func TestCancelThenRescheduleRearms(t *testing.T) {
+	var e Engine
+	n := 0
+	h := e.At(1, func() { n++ })
+	if !e.Cancel(h) {
+		t.Fatal("cancel failed")
+	}
+	if e.Pending(h) {
+		t.Fatal("cancelled event still pending")
+	}
+	if !e.Reschedule(h, 2) {
+		t.Fatal("reschedule of cancelled event failed")
+	}
+	if !e.Pending(h) {
+		t.Fatal("re-armed event not pending")
+	}
+	e.Run()
+	if n != 1 {
+		t.Errorf("callback ran %d times, want 1", n)
+	}
+	if e.Now() != 2 {
+		t.Errorf("now = %g, want 2", e.Now())
+	}
+}
+
+// A fired timer can be re-armed through its original handle: the pattern
+// internal/sim uses for per-application deadline timers.
+func TestRescheduleAfterFireRearms(t *testing.T) {
+	var e Engine
+	var times []float64
+	h := e.At(1, func() { times = append(times, e.Now()) })
+	e.Run()
+	e.Reschedule(h, 4)
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 4 {
+		t.Errorf("times = %v, want [1 4]", times)
+	}
+}
+
+func TestRescheduleZeroHandle(t *testing.T) {
+	var e Engine
+	if e.Reschedule(Handle{}, 1) {
+		t.Error("zero handle reschedule reported success")
+	}
+	if e.Pending(Handle{}) {
+		t.Error("zero handle pending")
+	}
+	if _, ok := e.When(Handle{}); ok {
+		t.Error("zero handle has a When")
+	}
+}
+
+func TestStepDue(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	e.At(5, func() { got = append(got, 5) })
+	for e.StepDue(2) {
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("got %v, want [1 2]", got)
+	}
+	if e.Now() != 2 {
+		t.Errorf("now = %g, want 2 (StepDue must not advance past fired events)", e.Now())
+	}
+	if e.StepDue(4.9) {
+		t.Error("StepDue fired an event beyond its bound")
+	}
+	e.Run()
+	if len(got) != 3 {
+		t.Errorf("remaining events not run: %v", got)
+	}
+}
+
+// TestRescheduleHeapIntegrityQuick churns one pool of timers through
+// random Reschedule/Cancel/fire cycles and verifies the heap invariant
+// never breaks: fires happen in nondecreasing time order and every live
+// timer fires exactly as often as it was armed.
+func TestRescheduleHeapIntegrityQuick(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var e Engine
+		const n = 8
+		fires := make([]int, n)
+		handles := make([]Handle, n)
+		for i := 0; i < n; i++ {
+			i := i
+			handles[i] = e.At(float64(i), func() { fires[i]++ })
+		}
+		armed := n
+		for _, op := range ops {
+			i := int(op) % n
+			switch (op / 256) % 3 {
+			case 0:
+				if !e.Pending(handles[i]) {
+					armed++
+				}
+				e.Reschedule(handles[i], e.Now()+float64(op%97))
+			case 1:
+				if e.Cancel(handles[i]) {
+					armed--
+				}
+			case 2:
+				last := e.Now()
+				if e.Step() {
+					if e.Now() < last {
+						return false
+					}
+				}
+			}
+		}
+		// Drain; every fire must come in nondecreasing time order and the
+		// total fire count must equal the number of arms.
+		last := e.Now()
+		for e.Step() {
+			if e.Now() < last {
+				return false
+			}
+			last = e.Now()
+		}
+		total := 0
+		for _, c := range fires {
+			total += c
+		}
+		return total == armed && e.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestHeapPropertyQuick: events always fire in nondecreasing time order
 // regardless of insertion order.
 func TestHeapPropertyQuick(t *testing.T) {

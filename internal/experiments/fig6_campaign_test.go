@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/workload"
@@ -55,6 +56,32 @@ func TestFig6CampaignMatchesDirectSweep(t *testing.T) {
 					t.Errorf("%v %s cell %d: campaign %v, direct sweep %v",
 						kind, sched.Name(), ci, row.Cells[ci], w)
 				}
+			}
+		}
+	}
+}
+
+// TestFig6DecisionSkipping pins the engine's decision-skipping on the
+// paper's own workloads: every Figure 6 cell resolves some decision
+// points without invoking the scheduler (single-candidate and uncongested
+// phases), while TestFig6CampaignMatchesDirectSweep and the sim package's
+// cross-engine goldens guarantee the per-app metrics are unchanged.
+func TestFig6DecisionSkipping(t *testing.T) {
+	const n = 2
+	cfg := Config{Replicates: n, Seed: 3, Workers: 2}
+	for _, kind := range []workload.Fig6Kind{workload.Fig6A, workload.Fig6B, workload.Fig6C} {
+		spec := fig6Spec(kind, cfg.Seed, n)
+		res, _, err := (&campaign.Runner{Spec: spec, Workers: cfg.Workers}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cell := range res.Cells {
+			if cell.Skipped == 0 {
+				t.Errorf("%v %s seed %d: no skipped decisions (decisions=%d)",
+					kind, cell.Scheduler, cell.Seed, cell.Decisions)
+			}
+			if cell.Decisions == 0 {
+				t.Errorf("%v %s seed %d: zero decisions", kind, cell.Scheduler, cell.Seed)
 			}
 		}
 	}

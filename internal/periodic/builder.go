@@ -18,15 +18,43 @@ type builder struct {
 	cursor  []float64 // per-app: earliest time the next compute may start
 }
 
-func newBuilder(p *platform.Platform, apps []*platform.App, T float64) (*builder, error) {
+// buildScratch holds the buffers one period-search loop reuses across
+// candidate periods: the usage profile's breakpoint storage, the
+// per-application cursors, and the insertion heuristics' working slices.
+// Only the winning schedule's slots survive a build; everything else is
+// recycled. The zero value is ready to use.
+type buildScratch struct {
+	profile Profile
+	cursor  []float64
+	order   []int
+	weight  []float64
+	blocked []bool
+}
+
+func newBuilder(p *platform.Platform, apps []*platform.App, T float64, scr *buildScratch) (*builder, error) {
 	if err := platform.ValidateApps(p, apps); err != nil {
 		return nil, err
+	}
+	if scr == nil {
+		scr = &buildScratch{}
+	}
+	if scr.profile.pts == nil {
+		scr.profile = *NewProfile(T)
+	} else {
+		scr.profile.Reset(T)
+	}
+	if cap(scr.cursor) < len(apps) {
+		scr.cursor = make([]float64, len(apps))
+	}
+	scr.cursor = scr.cursor[:len(apps)]
+	for i := range scr.cursor {
+		scr.cursor[i] = 0
 	}
 	b := &builder{
 		p:       p,
 		T:       T,
-		profile: NewProfile(T),
-		cursor:  make([]float64, len(apps)),
+		profile: &scr.profile,
+		cursor:  scr.cursor,
 	}
 	for _, a := range apps {
 		if !a.IsPeriodic() {
@@ -115,11 +143,18 @@ func (b *builder) schedule() *Schedule {
 // the ablation in DESIGN.md §4.2), each packed with as many instances as
 // fit before moving to the next application.
 func BuildThrou(p *platform.Platform, apps []*platform.App, T float64, descending bool) (*Schedule, error) {
-	b, err := newBuilder(p, apps, T)
+	return buildThrou(p, apps, T, descending, &buildScratch{})
+}
+
+func buildThrou(p *platform.Platform, apps []*platform.App, T float64, descending bool, scr *buildScratch) (*Schedule, error) {
+	b, err := newBuilder(p, apps, T, scr)
 	if err != nil {
 		return nil, err
 	}
-	order := make([]int, len(apps))
+	if cap(scr.order) < len(apps) {
+		scr.order = make([]int, len(apps))
+	}
+	order := scr.order[:len(apps)]
 	for i := range order {
 		order[i] = i
 	}
@@ -149,15 +184,23 @@ func BuildThrou(p *platform.Platform, apps []*platform.App, T float64, descendin
 // smallest (see DESIGN.md §4.1 for why the paper's literal "largest" rule
 // cannot be meant), until no application can accept another instance.
 func BuildCong(p *platform.Platform, apps []*platform.App, T float64) (*Schedule, error) {
-	b, err := newBuilder(p, apps, T)
+	return buildCong(p, apps, T, &buildScratch{})
+}
+
+func buildCong(p *platform.Platform, apps []*platform.App, T float64, scr *buildScratch) (*Schedule, error) {
+	b, err := newBuilder(p, apps, T, scr)
 	if err != nil {
 		return nil, err
 	}
-	weight := make([]float64, len(apps))
+	if cap(scr.weight) < len(apps) {
+		scr.weight = make([]float64, len(apps))
+		scr.blocked = make([]bool, len(apps))
+	}
+	weight, blocked := scr.weight[:len(apps)], scr.blocked[:len(apps)]
 	for i, a := range apps {
 		weight[i] = workOf(a) + a.IOTime(p, 0)
+		blocked[i] = false
 	}
-	blocked := make([]bool, len(apps))
 	for {
 		best := -1
 		var bestKey float64
@@ -220,14 +263,15 @@ func SearchPeriod(p *platform.Platform, apps []*platform.App, heuristic string, 
 		return nil, fmt.Errorf("periodic: Tmax = %g below minimum period %g", Tmax, T0)
 	}
 	res := &SearchResult{BestDilation: math.Inf(1), BestSysEff: math.Inf(-1)}
+	var scr buildScratch // shared across the (1+ε) sweep
 	for T := T0; T <= Tmax*(1+1e-12); T *= 1 + eps {
 		var s *Schedule
 		var err error
 		switch heuristic {
 		case HeuristicThrou:
-			s, err = BuildThrou(p, apps, T, false)
+			s, err = buildThrou(p, apps, T, false, &scr)
 		case HeuristicCong:
-			s, err = BuildCong(p, apps, T)
+			s, err = buildCong(p, apps, T, &scr)
 		default:
 			return nil, fmt.Errorf("periodic: unknown heuristic %q", heuristic)
 		}

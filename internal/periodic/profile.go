@@ -31,6 +31,18 @@ func NewProfile(T float64) *Profile {
 	return &Profile{T: T, pts: []float64{0}, use: []float64{0}}
 }
 
+// Reset empties the profile and re-targets it to period T, keeping the
+// breakpoint storage: the period search rebuilds a profile per candidate
+// period, and reuse keeps that loop allocation-free at steady state.
+func (p *Profile) Reset(T float64) {
+	if T <= 0 {
+		panic(fmt.Sprintf("periodic: period %g, want > 0", T))
+	}
+	p.T = T
+	p.pts = append(p.pts[:0], 0)
+	p.use = append(p.use[:0], 0)
+}
+
 // segment returns the index of the segment containing time t.
 func (p *Profile) segment(t float64) int {
 	// Binary search for the last breakpoint <= t.

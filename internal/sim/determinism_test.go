@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/workload"
+)
+
+// TestRunDeterminism pins full-run determinism through the event kernel:
+// two runs of the same Config — including a Waker (Timeout) scheduler, a
+// burst buffer and request latency, the three features that exercise
+// timer rescheduling hardest — must produce byte-identical JSON results.
+func TestRunDeterminism(t *testing.T) {
+	wcfg := workload.Fig6Config(workload.Fig6B, 17)
+	apps, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := map[string]Config{
+		"timeout-bb": {
+			Platform:       wcfg.Platform,
+			Scheduler:      core.NewTimeout(core.MaxSysEff(), 30),
+			Apps:           apps,
+			UseBB:          true,
+			RequestLatency: 0.05,
+			CheckGrants:    true,
+		},
+		"plain": {
+			Platform:  wcfg.Platform.WithoutBB(),
+			Scheduler: core.MinMax(0.5),
+			Apps:      apps,
+		},
+	}
+	for name, cfg := range cfgs {
+		marshal := func() []byte {
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			b, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		first, second := marshal(), marshal()
+		if !bytes.Equal(first, second) {
+			t.Errorf("%s: two runs of the same Config differ:\n%s\n%s", name, first, second)
+		}
+	}
+}
+
+// TestKernelSameInstantOrderAfterReschedule pins the des property the
+// simulator's same-instant batching relies on: events sharing an instant
+// fire in (re)schedule order, with a rescheduled timer joining its new
+// cohort last.
+func TestKernelSameInstantOrderAfterReschedule(t *testing.T) {
+	var e des.Engine
+	var got []string
+	mk := func(tag string, at float64) des.Handle {
+		return e.At(at, func() { got = append(got, tag) })
+	}
+	a := mk("a", 5)
+	b := mk("b", 1)
+	mk("c", 5)
+	e.Reschedule(b, 5) // b leaves t=1, joins the t=5 cohort after c
+	e.Reschedule(a, 5) // a re-enters its own instant, now after b
+	e.Run()
+	want := []string{"c", "b", "a"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	// Determinism across identical constructions.
+	run := func() []string {
+		var e des.Engine
+		var out []string
+		h := e.At(3, func() { out = append(out, "x") })
+		e.At(3, func() { out = append(out, "y") })
+		e.Reschedule(h, 3)
+		e.Run()
+		return out
+	}
+	r1, r2 := run(), run()
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("non-deterministic same-instant order: %v vs %v", r1, r2)
+		}
+	}
+}

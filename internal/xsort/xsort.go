@@ -1,0 +1,60 @@
+// Package xsort provides the allocation-free ordered-slice primitives the
+// hot paths share: a stable binary-insertion sort (unlike sort.SliceStable
+// it costs no closure and no reflect-based swapper per call, and it is
+// fast on the small, mostly-sorted slices of a scheduling decision) and a
+// lower-bound search for maintaining sorted lists in place. Stable sorts
+// have a unique output, so replacing sort.SliceStable with Stable is
+// bit-transparent.
+package xsort
+
+// Stable sorts v in place with a stable binary-insertion sort.
+func Stable[T any](v []T, less func(a, b T) bool) {
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		lo, hi := 0, i
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if less(x, v[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		copy(v[lo+1:i+1], v[lo:i])
+		v[lo] = x
+	}
+}
+
+// LowerBound returns the first index i in the sorted slice v with
+// !less(v[i], x), i.e. the insertion point that keeps v sorted.
+func LowerBound[T any](v []T, x T, less func(a, b T) bool) int {
+	lo, hi := 0, len(v)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(v[mid], x) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert inserts x into the sorted slice v at its lower bound, returning
+// the extended slice.
+func Insert[T any](v []T, x T, less func(a, b T) bool) []T {
+	i := LowerBound(v, x, less)
+	var zero T
+	v = append(v, zero)
+	copy(v[i+1:], v[i:])
+	v[i] = x
+	return v
+}
+
+// Remove removes the element at x's lower bound from the sorted slice v,
+// returning the shortened slice. The element must be present.
+func Remove[T any](v []T, x T, less func(a, b T) bool) []T {
+	i := LowerBound(v, x, less)
+	copy(v[i:], v[i+1:])
+	return v[:len(v)-1]
+}

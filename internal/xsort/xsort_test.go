@@ -1,0 +1,58 @@
+package xsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestStableMatchesSliceStable pins bit-transparency: Stable must produce
+// exactly sort.SliceStable's output (stable sorts are unique).
+func TestStableMatchesSliceStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	type kv struct{ k, tag int }
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		a := make([]kv, n)
+		for i := range a {
+			a[i] = kv{k: rng.Intn(8), tag: i}
+		}
+		b := append([]kv(nil), a...)
+		Stable(a, func(x, y kv) bool { return x.k < y.k })
+		sort.SliceStable(b, func(i, j int) bool { return b[i].k < b[j].k })
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: Stable %v != SliceStable %v", trial, a, b)
+			}
+		}
+	}
+}
+
+func TestInsertRemoveKeepSorted(t *testing.T) {
+	less := func(a, b int) bool { return a < b }
+	rng := rand.New(rand.NewSource(9))
+	var v []int
+	present := map[int]bool{}
+	for trial := 0; trial < 500; trial++ {
+		x := rng.Intn(100)
+		if present[x] {
+			v = Remove(v, x, less)
+			delete(present, x)
+		} else {
+			v = Insert(v, x, less)
+			present[x] = true
+		}
+		if !sort.IntsAreSorted(v) {
+			t.Fatalf("unsorted after trial %d: %v", trial, v)
+		}
+		if len(v) != len(present) {
+			t.Fatalf("length %d, want %d", len(v), len(present))
+		}
+	}
+	if got := LowerBound([]int{1, 3, 3, 5}, 3, less); got != 1 {
+		t.Errorf("LowerBound = %d, want 1", got)
+	}
+	if got := LowerBound([]int{1, 3, 3, 5}, 6, less); got != 4 {
+		t.Errorf("LowerBound past end = %d, want 4", got)
+	}
+}

@@ -188,6 +188,15 @@ type (
 	WorkloadSpec = workload.Spec
 	// Moment is one congested moment (platform + application mix).
 	Moment = workload.Moment
+	// Fig6Kind selects one of the three Figure 6 scenario panels.
+	Fig6Kind = workload.Fig6Kind
+)
+
+// The Figure 6 scenario panels (Section 4.2).
+const (
+	Fig6A = workload.Fig6A
+	Fig6B = workload.Fig6B
+	Fig6C = workload.Fig6C
 )
 
 // AppTemplate models one of the paper's named periodic production codes
@@ -198,6 +207,9 @@ type AppTemplate = workload.Template
 var (
 	// GenerateWorkload draws a seeded application mix.
 	GenerateWorkload = workload.Generate
+	// Fig6Workload returns the generator configuration of one Figure 6
+	// panel replicate.
+	Fig6Workload = workload.Fig6Config
 	// IntrepidMoments and MiraMoments build the congested-moment sets
 	// behind Tables 1 and 2.
 	IntrepidMoments = workload.IntrepidMoments
