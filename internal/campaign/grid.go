@@ -14,8 +14,13 @@ import (
 // simulator or the workload generator changes semantics, so stale cache
 // entries are never reused. v2: the event-kernel engine reports skipped
 // decision points separately, so Decisions counts actual scheduler
-// invocations (per-app metrics and summaries are bit-identical to v1).
-const engineVersion = "iosched-sim/2"
+// invocations. v3: applying a decision that changes discrete view state
+// (a first grant flipping Started, a preemption) now invalidates the
+// decision memo, so Priority-* grants re-sort where v2 wrongly reused
+// them and the Decisions/Skipped split shifted; per-app metrics match
+// the pre-refactor engine (v1) everywhere, which v2 did not guarantee
+// for Priority heuristics.
+const engineVersion = "iosched-sim/3"
 
 // Cell is one point of the campaign grid: a fully resolved simulation to
 // run.

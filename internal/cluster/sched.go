@@ -27,6 +27,10 @@ type schedServer struct {
 	cands []*appRun
 	scr   core.Scratch
 	round uint64
+
+	// byID resolves a grant's application in O(1); built once on the
+	// first decision, after the runner's app list is complete.
+	byID map[int]*appRun
 }
 
 // serve enqueues fn behind the server's serialized processing.
@@ -86,12 +90,15 @@ func (s *schedServer) decide() {
 	cap := core.Capacity{TotalBW: r.pfs.capacity(), NodeBW: r.p.NodeBW}
 	grants := core.AllocateWith(r.cfg.Policy, &s.scr, r.eng.Now(), views, cap)
 	s.round++
+	if s.byID == nil {
+		s.byID = make(map[int]*appRun, len(r.apps))
+		for _, a := range r.apps {
+			s.byID[a.cfg.ID] = a
+		}
+	}
 	for _, g := range grants {
-		for _, a := range cands {
-			if a.cfg.ID == g.AppID {
-				a.grantRound, a.grantBW = s.round, g.BW
-				break
-			}
+		if a := s.byID[g.AppID]; a != nil {
+			a.grantRound, a.grantBW = s.round, g.BW
 		}
 	}
 	for _, a := range cands {

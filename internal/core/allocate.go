@@ -122,7 +122,12 @@ func AllocateWith(s Scheduler, scr *Scratch, now float64, apps []*AppView, cap C
 // draining RemVolume), and the capacity — independent of the decision
 // time. Engines exploit this by skipping re-allocation at events that
 // change none of those inputs (for example an application release that
-// only starts a compute phase). Time-dependent policies (the dilation- and
+// only starts a compute phase). Beware that applying a decision is itself
+// such a change: a first grant flips Started, a preemption restarts
+// PendingSince, and both toggle Phase. An engine must treat a decision
+// whose application changed any discrete view field as invalidating its
+// own memo, or a Priority ordering would keep reusing grants computed
+// before the flip. Time-dependent policies (the dilation- and
 // efficiency-ordered heuristics, Timeout) must not declare it: their
 // favored-first order can flip through the mere passage of time.
 type Memoizable interface {

@@ -48,7 +48,10 @@ func (h *Heuristic) WithPriority() *Heuristic {
 // Memoizable implements the engine capability: true only for orderings
 // that are pure functions of discrete application state. The Priority
 // partition reads Started, which is also discrete, so it preserves the
-// property.
+// property — but note Started flips true when a grant is first applied,
+// i.e. as a consequence of the decision itself, so engines must count
+// decision application among the events that invalidate a memo (see the
+// Memoizable contract in allocate.go).
 func (h *Heuristic) Memoizable() bool { return h.memoizable }
 
 // Saturating implements the engine capability: greedy favored-first

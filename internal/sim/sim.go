@@ -615,8 +615,10 @@ func (s *simulation) decide() {
 	// Memoizable skip: the policy's output is a pure function of the
 	// candidate set, its discrete state and the capacity; none of them
 	// changed since the applied decision, so re-deciding would re-apply
-	// identical grants. (Discrete view fields only change at events that
-	// bump candVersion or at decisions themselves.)
+	// identical grants. Discrete view fields change at events that bump
+	// candVersion — and at decision application itself (Started, Phase,
+	// PendingSince), where applyGrant bumps candVersion too, so a decision
+	// that changed what a policy may read invalidates its own memo.
 	if s.isMemoizable && s.decided && s.candVersion == s.decidedVersion && cap == s.decidedCap {
 		s.skipped++
 		return
@@ -635,6 +637,9 @@ func (s *simulation) decide() {
 		s.applyGrant(st, bw)
 		s.skipped++
 		s.decided = true
+		// Recording the post-apply version is sound here: the outcome
+		// depends only on the candidate set and the capacity, not on the
+		// fields applyGrant may have just changed.
 		s.decidedVersion = s.candVersion
 		s.decidedCap = cap
 		return
@@ -655,6 +660,9 @@ func (s *simulation) decide() {
 			}
 			s.skipped++
 			s.decided = true
+			// Post-apply version, as above: with the same set and capacity
+			// the demand is the same, and a Saturating policy re-grants the
+			// full caps whatever discrete state the application changed.
 			s.decidedVersion = s.candVersion
 			s.decidedCap = cap
 			return
@@ -662,6 +670,11 @@ func (s *simulation) decide() {
 	}
 
 	want := s.wantViews()
+	// The decision is computed from the views as they are NOW; capture the
+	// version before application, because applying the grants can itself
+	// change discrete view state (bumping candVersion), and a memo over
+	// the pre-application inputs must not survive that.
+	ver := s.candVersion
 	grants := core.AllocateWith(s.cfg.Scheduler, &s.scr, s.now, want, cap)
 	s.decisions++
 	if s.cfg.CheckGrants {
@@ -684,15 +697,29 @@ func (s *simulation) decide() {
 		s.applyGrant(st, bw)
 	}
 	s.decided = true
-	s.decidedVersion = s.candVersion
+	s.decidedVersion = ver
 	s.decidedCap = cap
 }
 
 // applyGrant installs one application's new bandwidth and keeps the
 // scheduler-visible phase and the transferring set in step.
+//
+// Applying a decision can itself change discrete view state a Memoizable
+// policy is allowed to read — Started flips true on a first grant (the
+// Priority partition orders on it), Phase toggles, and a preemption
+// restarts PendingSince. Each such change bumps candVersion so the memo
+// over the pre-application inputs dies with it: the next event re-invokes
+// the scheduler exactly where the pre-refactor every-event loop could
+// have decided differently (e.g. a partially-granted application that
+// just became Started overtaking the previously started one under
+// Priority-RoundRobin). Re-applying an unchanged decision bumps nothing,
+// so steady congested states still converge to memo skips.
 func (s *simulation) applyGrant(st *appState, bw float64) {
 	st.bw = bw
 	if bw > 0 {
+		if !st.view.Started || st.view.Phase != core.Transferring {
+			s.candVersion++
+		}
 		st.view.Phase = core.Transferring
 		st.view.Started = true
 		s.activeAdd(st)
@@ -700,6 +727,7 @@ func (s *simulation) applyGrant(st *appState, bw float64) {
 		if st.view.Phase == core.Transferring {
 			// Preempted: the stall clock restarts now.
 			st.view.PendingSince = s.now
+			s.candVersion++
 		}
 		st.view.Phase = core.Pending
 		s.activeRemove(st)

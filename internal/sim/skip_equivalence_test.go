@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// noCapScheduler hides the capability and scratch interfaces of its inner
+// policy. The engine then sees a plain Scheduler — not Memoizable, not
+// Saturating, not SingleFullGrant — and must invoke Allocate at every
+// decision point, which is exactly the pre-refactor loop's cadence. The
+// grants come from the same policy, so a run with the wrapper is a
+// reconstructed v1 reference for the same Config.
+type noCapScheduler struct {
+	inner core.Scheduler
+}
+
+func (n noCapScheduler) Name() string { return n.inner.Name() }
+
+func (n noCapScheduler) Allocate(now float64, apps []*core.AppView, cap core.Capacity) []core.Grant {
+	return n.inner.Allocate(now, apps, cap)
+}
+
+// NextWake forwards to the inner policy so Waker-driven decision points
+// (Timeout) stay identical under the wrapper.
+func (n noCapScheduler) NextWake(now float64, apps []*core.AppView) (float64, bool) {
+	if w, ok := n.inner.(core.Waker); ok {
+		return w.NextWake(now, apps)
+	}
+	return 0, false
+}
+
+// TestSkipEquivalence replays the full cross-engine battery twice — once
+// as configured (capability fast paths active) and once with the policy's
+// capabilities stripped (scheduler invoked at every decision point, the
+// pre-refactor cadence) — and requires bit-identical results. This is the
+// proof that decision skipping never changes an outcome, for every
+// scheduler family, independent of the pinned golden file.
+func TestSkipEquivalence(t *testing.T) {
+	cases := equivCases(t)
+	cases = append(cases, priorityMemoCase())
+	for _, c := range cases {
+		res := runEquivCase(t, c)
+
+		ref := c.Cfg
+		ref.Scheduler = noCapScheduler{inner: c.Cfg.Scheduler}
+		refRes, err := Run(ref)
+		if err != nil {
+			t.Fatalf("%s (stripped): %v", c.Name, err)
+		}
+
+		if refRes.Skipped != 0 {
+			t.Errorf("%s: stripped run skipped %d decisions, want 0", c.Name, refRes.Skipped)
+		}
+		if res.Events != refRes.Events {
+			t.Errorf("%s: Events = %d, stripped %d", c.Name, res.Events, refRes.Events)
+		}
+		if res.Decisions+res.Skipped != refRes.Decisions {
+			t.Errorf("%s: Decisions+Skipped = %d+%d, stripped Decisions %d",
+				c.Name, res.Decisions, res.Skipped, refRes.Decisions)
+		}
+		if res.Summary != refRes.Summary {
+			t.Errorf("%s: Summary = %+v, stripped %+v", c.Name, res.Summary, refRes.Summary)
+		}
+		if res.BBPeakLevel != refRes.BBPeakLevel || res.BBFullTime != refRes.BBFullTime {
+			t.Errorf("%s: BB stats = (%g, %g), stripped (%g, %g)",
+				c.Name, res.BBPeakLevel, res.BBFullTime, refRes.BBPeakLevel, refRes.BBFullTime)
+		}
+		if len(res.Apps) != len(refRes.Apps) {
+			t.Errorf("%s: %d apps, stripped %d", c.Name, len(res.Apps), len(refRes.Apps))
+			continue
+		}
+		for i := range res.Apps {
+			if res.Apps[i] != refRes.Apps[i] {
+				t.Errorf("%s: app %d = %+v, stripped %+v", c.Name, i, res.Apps[i], refRes.Apps[i])
+			}
+		}
+	}
+}
+
+// priorityMemoCase is the scenario where a memoized Priority decision and
+// a fresh one diverge: applying a partial grant to a not-yet-started
+// application flips its Started flag, which the Priority partition reads.
+// An event that changes neither the candidate set nor the capacity (a
+// release that only starts a compute phase) must still re-decide, because
+// the freshly started application now outranks the one the stale decision
+// favored.
+//
+// Timeline under Priority-RoundRobin on TotalBW 6, NodeBW 1:
+//   - t=0   app1 (4 nodes, LastIOEnd 0) released, computes until t=6.
+//   - t=2   app0 (4 nodes, LastIOEnd 2) released straight into I/O
+//     (zero work), alone: full 4 GiB/s. Started.
+//   - t=6   app1 wants I/O. Demand 8 > 6. Priority keeps started app0
+//     first: app0 full 4, app1 partial 2 — and app1 becomes Started.
+//   - t=6.5 app2 releases into pure compute: no candidate or capacity
+//     change. Re-deciding orders both started apps by LastIOEnd —
+//     app1 (0) ahead of app0 (2) — so app1 takes the full 4 and app0
+//     drops to 2. A memoized engine would wrongly keep the t=6 split.
+func priorityMemoCase() equivCase {
+	p := &platform.Platform{Name: "memo", Nodes: 64, NodeBW: 1, TotalBW: 6}
+	apps := []*platform.App{
+		{ID: 0, Name: "late-io", Nodes: 4, Release: 2,
+			Instances: []platform.Instance{{Work: 0, Volume: 20}}},
+		{ID: 1, Name: "early", Nodes: 4, Release: 0,
+			Instances: []platform.Instance{{Work: 6, Volume: 20}}},
+		{ID: 2, Name: "bystander", Nodes: 1, Release: 6.5,
+			Instances: []platform.Instance{{Work: 100, Volume: 0}}},
+	}
+	return equivCase{
+		Name: "priority-memo-release-between-congested-events",
+		Cfg: Config{
+			Platform:    p,
+			Scheduler:   core.RoundRobin().WithPriority(),
+			Apps:        apps,
+			CheckGrants: true,
+		},
+	}
+}
+
+// TestPriorityMemoInvalidation pins the hand-computed outcome of
+// priorityMemoCase: after the bystander's release forces a re-decision,
+// app1 overtakes app0 (both started, app1's last I/O ended earlier), so
+// app0 finishes at t=7.5 (not 7) and app1 at t=11.25 (not 11.5).
+func TestPriorityMemoInvalidation(t *testing.T) {
+	res := runEquivCase(t, priorityMemoCase())
+	finish := map[int]float64{}
+	for _, a := range res.Apps {
+		finish[a.ID] = a.Finish
+	}
+	if got, want := finish[0], 7.5; got != want {
+		t.Errorf("app0 finish = %g, want %g (memoized stale grant kept it at 4 GiB/s)", got, want)
+	}
+	if got, want := finish[1], 11.25; got != want {
+		t.Errorf("app1 finish = %g, want %g", got, want)
+	}
+}

@@ -1,14 +1,34 @@
-// Package xsort provides the allocation-free ordered-slice primitives the
-// hot paths share: a stable binary-insertion sort (unlike sort.SliceStable
-// it costs no closure and no reflect-based swapper per call, and it is
-// fast on the small, mostly-sorted slices of a scheduling decision) and a
-// lower-bound search for maintaining sorted lists in place. Stable sorts
-// have a unique output, so replacing sort.SliceStable with Stable is
-// bit-transparent.
+// Package xsort provides the ordered-slice primitives the hot paths
+// share: a stable sort tuned for scheduling decisions (allocation-free
+// binary-insertion sort on small slices, where it beats sort.SliceStable's
+// closure and reflect-based swapper; delegation to sort.SliceStable above
+// the threshold, where insertion's O(n²) element moves would dominate) and
+// a lower-bound search for maintaining sorted lists in place. Stable sorts
+// have a unique output, so every path through Stable is bit-transparent
+// with sort.SliceStable.
 package xsort
 
-// Stable sorts v in place with a stable binary-insertion sort.
+import "sort"
+
+// insertionMaxLen bounds the binary-insertion path: scheduling decisions
+// sort a handful of candidates, where shifting a few pointer-sized
+// elements is cheaper than SliceStable's reflect machinery. Beyond it the
+// quadratic move count loses, so Stable switches to sort.SliceStable.
+const insertionMaxLen = 64
+
+// Stable sorts v in place, stably. Slices up to insertionMaxLen elements
+// are sorted allocation-free by binary insertion; longer slices delegate
+// to sort.SliceStable (O(n log n) comparisons, O(n log² n) moves).
 func Stable[T any](v []T, less func(a, b T) bool) {
+	if len(v) <= insertionMaxLen {
+		insertionStable(v, less)
+		return
+	}
+	sort.SliceStable(v, func(i, j int) bool { return less(v[i], v[j]) })
+}
+
+// insertionStable is a stable binary-insertion sort.
+func insertionStable[T any](v []T, less func(a, b T) bool) {
 	for i := 1; i < len(v); i++ {
 		x := v[i]
 		lo, hi := 0, i
