@@ -1,0 +1,148 @@
+// Command ioloadgen drives a live ioschedd daemon with N concurrent
+// synthetic applications, each cycling through compute → request →
+// (progress) → complete phases, and reports the sustained message and
+// grant rates. It is the load-side half of the daemon's performance
+// story: run it against a remote daemon to size a deployment, or let it
+// spawn an embedded daemon to measure the scheduler alone.
+//
+//	ioloadgen -clients 64 -iters 50                     # embedded daemon
+//	ioloadgen -addr 127.0.0.1:9449 -clients 256         # live daemon
+//
+// Each client registers with its own app ID, requests -volume GiB after
+// -compute of simulated computation, waits for a nonzero grant, spends
+// -transfer mid-transfer (sending -progress interim reports), completes,
+// and repeats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "daemon address; empty spawns an embedded daemon")
+		policy   = flag.String("policy", "Priority-MaxSysEff", "policy for the embedded daemon")
+		totalBW  = flag.Float64("B", 24, "embedded daemon file-system bandwidth B (GiB/s)")
+		nodeBW   = flag.Float64("b", 0.0125, "embedded daemon per-node bandwidth b (GiB/s)")
+		clients  = flag.Int("clients", 16, "concurrent applications")
+		nodes    = flag.Int("nodes", 64, "nodes per application")
+		iters    = flag.Int("iters", 20, "request/complete cycles per application")
+		volume   = flag.Float64("volume", 2, "I/O volume per cycle (GiB)")
+		compute  = flag.Duration("compute", 2*time.Millisecond, "simulated compute time per cycle")
+		transfer = flag.Duration("transfer", time.Millisecond, "simulated transfer time per cycle")
+		progress = flag.Int("progress", 1, "interim progress reports per transfer")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-cycle grant wait limit")
+	)
+	flag.Parse()
+
+	var embedded *server.Server
+	target := *addr
+	if target == "" {
+		pol, err := core.ByName(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		srv, err := server.New(server.Config{Policy: pol, TotalBW: *totalBW, NodeBW: *nodeBW})
+		if err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		go srv.Serve(ln) //nolint:errcheck // exits on Close
+		embedded = srv
+		target = ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "ioloadgen: embedded %s daemon on %s (B=%g, b=%g)\n",
+			pol.Name(), target, *totalBW, *nodeBW)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		cycles   atomic.Int64
+		grants   atomic.Int64
+		failures atomic.Int64
+	)
+	start := time.Now()
+	for id := 1; id <= *clients; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := server.Dial(target, id, *nodes)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ioloadgen: app %d: %v\n", id, err)
+				failures.Add(1)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < *iters; i++ {
+				time.Sleep(*compute)
+				work := compute.Seconds()
+				ideal := work + *volume/(float64(*nodes)*(*nodeBW))
+				if err := c.RequestIO(*volume, work, ideal); err != nil {
+					fmt.Fprintf(os.Stderr, "ioloadgen: app %d: %v\n", id, err)
+					failures.Add(1)
+					return
+				}
+				if _, err := c.WaitForBandwidth(*timeout); err != nil {
+					fmt.Fprintf(os.Stderr, "ioloadgen: app %d cycle %d: %v\n", id, i, err)
+					failures.Add(1)
+					return
+				}
+				for p := 1; p <= *progress; p++ {
+					time.Sleep(*transfer / time.Duration(*progress+1))
+					rem := *volume * (1 - float64(p)/float64(*progress+1))
+					if err := c.Progress(rem); err != nil {
+						fmt.Fprintf(os.Stderr, "ioloadgen: app %d: %v\n", id, err)
+						failures.Add(1)
+						return
+					}
+				}
+				time.Sleep(*transfer / time.Duration(*progress+1))
+				if err := c.CompleteIO(); err != nil {
+					fmt.Fprintf(os.Stderr, "ioloadgen: app %d: %v\n", id, err)
+					failures.Add(1)
+					return
+				}
+				cycles.Add(1)
+			}
+			grants.Add(int64(c.Seq()))
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("clients         %10d (%d nodes each)\n", *clients, *nodes)
+	fmt.Printf("cycles          %10d (%d failures)\n", cycles.Load(), failures.Load())
+	fmt.Printf("wall time       %10.2f s\n", elapsed.Seconds())
+	fmt.Printf("cycle rate      %10.0f cycles/s\n", float64(cycles.Load())/elapsed.Seconds())
+	fmt.Printf("grants applied  %10d\n", grants.Load())
+	if embedded != nil {
+		m := embedded.Metrics()
+		fmt.Printf("\ndaemon metrics (%s):\n", m.Policy)
+		fmt.Printf("  rounds        %10d\n", m.Rounds)
+		fmt.Printf("  decisions     %10d\n", m.Decisions)
+		fmt.Printf("  skipped       %10d (%.1f%% of rounds resolved without the policy)\n",
+			m.Skipped, 100*float64(m.Skipped)/float64(max(m.Rounds, 1)))
+		fmt.Printf("  grant pushes  %10d\n", m.GrantPushes)
+		embedded.Close() //nolint:errcheck
+	}
+	if failures.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ioloadgen:", err)
+	os.Exit(1)
+}

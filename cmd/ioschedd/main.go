@@ -7,15 +7,27 @@
 // The wire protocol is newline-delimited JSON (see internal/server):
 //
 //	-> {"type":"hello","app_id":1,"nodes":4096}
+//	<- {"type":"welcome","app_id":1}
 //	-> {"type":"request","volume_gib":900,"work_s":600,"ideal_s":637}
-//	<- {"type":"grant","app_id":1,"bw_gibs":24,"seq":7}
+//	<- {"type":"grant","app_id":1,"bw_gibs":24,"seq":1}
 //	-> {"type":"complete"}
+//
+// With -metrics, the daemon also serves its operational counters as JSON
+// over HTTP:
+//
+//	ioschedd -listen :9449 -machine intrepid -metrics :9450
+//	curl http://localhost:9450/metrics
+//	{"policy":"Priority-MaxSysEff","sessions":12,"candidates":3,
+//	 "rounds":841,"decisions":512,"skipped":329,"grant_pushes":290,...}
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 
@@ -31,6 +43,7 @@ func main() {
 		machine = flag.String("machine", "", "platform preset supplying B and b (intrepid, mira, vesta)")
 		totalBW = flag.Float64("B", 0, "file-system bandwidth B in GiB/s (overrides -machine)")
 		nodeBW  = flag.Float64("b", 0, "per-node I/O-card bandwidth b in GiB/s (overrides -machine)")
+		metrics = flag.String("metrics", "", "HTTP listen address for the /metrics endpoint (disabled when empty)")
 		quiet   = flag.Bool("quiet", false, "disable connection logging")
 	)
 	flag.Parse()
@@ -68,6 +81,22 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *metrics != "" {
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fatal(fmt.Errorf("metrics endpoint: %w", err))
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(srv.Metrics()) //nolint:errcheck // best-effort HTTP reply
+		})
+		go http.Serve(mln, mux) //nolint:errcheck // exits with the process
+		fmt.Fprintf(os.Stderr, "ioschedd: metrics on http://%s/metrics\n", mln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -172,6 +172,32 @@ func IsSingleFullGrant(s Scheduler) bool {
 	return ok && g.SingleFullGrant()
 }
 
+// EngineCaps is a scheduler's resolved capability set. Execution engines
+// (the simulator, the cluster emulator, the TCP daemon) resolve it once at
+// startup and consult the flags on every decision point instead of
+// repeating type assertions on the hot path.
+type EngineCaps struct {
+	// Memoizable, Saturating and SingleFullGrant mirror the capability
+	// interfaces of the same names.
+	Memoizable      bool
+	Saturating      bool
+	SingleFullGrant bool
+	// Waker is non-nil when the scheduler wants self-chosen decision
+	// points (core.Timeout promoting expired stalls).
+	Waker Waker
+}
+
+// CapsOf resolves a scheduler's capabilities.
+func CapsOf(s Scheduler) EngineCaps {
+	w, _ := s.(Waker)
+	return EngineCaps{
+		Memoizable:      IsMemoizable(s),
+		Saturating:      IsSaturating(s),
+		SingleFullGrant: IsSingleFullGrant(s),
+		Waker:           w,
+	}
+}
+
 // IsMemoizable reports whether the scheduler declares reusable decisions.
 func IsMemoizable(s Scheduler) bool {
 	m, ok := s.(Memoizable)

@@ -29,9 +29,21 @@ type Client struct {
 	err    error
 	closed bool
 	done   chan struct{}
+
+	// hello carries the registration verdict (nil or the server's
+	// rejection) exactly once; helloOnce guards it.
+	hello     chan error
+	helloOnce sync.Once
 }
 
+// dialTimeout bounds how long Dial waits for the server's registration
+// verdict (the welcome ack or an error).
+const dialTimeout = 10 * time.Second
+
 // Dial connects and registers the application with the daemon.
+// Registration is synchronous: Dial returns only after the server
+// acknowledged the hello with a welcome, so a rejection — a duplicate app
+// ID, a malformed hello — surfaces here instead of later through Err.
 func Dial(addr string, appID, nodes int) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -41,13 +53,31 @@ func Dial(addr string, appID, nodes int) (*Client, error) {
 		conn:   conn,
 		grants: make(chan float64, 64),
 		done:   make(chan struct{}),
+		hello:  make(chan error, 1),
 	}
 	if err := c.send(&Message{Type: TypeHello, AppID: appID, Nodes: nodes}); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	go c.readLoop()
+	select {
+	case err := <-c.hello:
+		if err != nil {
+			conn.Close()
+			<-c.done
+			return nil, err
+		}
+	case <-time.After(dialTimeout):
+		conn.Close()
+		<-c.done
+		return nil, fmt.Errorf("server: no registration ack within %v", dialTimeout)
+	}
 	return c, nil
+}
+
+// settleHello delivers the registration verdict to Dial exactly once.
+func (c *Client) settleHello(err error) {
+	c.helloOnce.Do(func() { c.hello <- err })
 }
 
 // Grants returns the stream of bandwidth assignments (GiB/s). A zero
@@ -62,6 +92,15 @@ func (c *Client) LastBW() float64 {
 	return c.lastBW
 }
 
+// Seq returns the sequence number of the most recently applied grant:
+// the count of distinct bandwidth verdicts the server has pushed to this
+// session.
+func (c *Client) Seq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seq
+}
+
 // Err returns the terminal error of the connection, if any.
 func (c *Client) Err() error {
 	c.mu.Lock()
@@ -72,11 +111,30 @@ func (c *Client) Err() error {
 // RequestIO announces an I/O phase of volume GiB, crediting work seconds
 // of computation done since the last phase and ideal seconds of
 // dedicated-mode instance time.
+//
+// The previous phase's grant state is discarded first, so a
+// WaitForBandwidth immediately after RequestIO waits for this phase's
+// verdict instead of returning the stale pre-complete bandwidth. (A push
+// already in flight from a round that decided before the server saw the
+// completion can still slip in; the window is one message latency.)
 func (c *Client) RequestIO(volume, work, ideal float64) error {
+	c.mu.Lock()
+	c.lastBW = 0
+	c.mu.Unlock()
+	for drained := false; !drained; {
+		select {
+		case _, ok := <-c.grants:
+			drained = !ok // a closed channel has nothing left to drain
+		default:
+			drained = true
+		}
+	}
 	return c.send(&Message{Type: TypeRequest, Volume: volume, Work: work, IdealTime: ideal})
 }
 
-// Progress reports the remaining volume mid-transfer.
+// Progress reports the remaining volume mid-transfer. Reporting zero
+// remaining volume completes the phase on the server, exactly like
+// CompleteIO.
 func (c *Client) Progress(remaining float64) error {
 	return c.send(&Message{Type: TypeProgress, Volume: remaining})
 }
@@ -146,6 +204,7 @@ func (c *Client) send(m *Message) error {
 func (c *Client) readLoop() {
 	defer close(c.done)
 	defer close(c.grants)
+	defer c.settleHello(errors.New("server: connection closed before registration ack"))
 	sc := bufio.NewScanner(c.conn)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	for sc.Scan() {
@@ -155,9 +214,14 @@ func (c *Client) readLoop() {
 			return
 		}
 		switch msg.Type {
+		case TypeWelcome:
+			c.settleHello(nil)
 		case TypeGrant:
 			c.mu.Lock()
-			stale := msg.Seq < c.seq
+			// The server's per-session sequence is strictly increasing
+			// and written in order; the check is defensive, so a stale
+			// or duplicated grant can never regress the applied value.
+			stale := msg.Seq <= c.seq
 			if !stale {
 				c.seq = msg.Seq
 				c.lastBW = msg.BW
@@ -181,7 +245,9 @@ func (c *Client) readLoop() {
 				}
 			}
 		case TypeError:
-			c.fail(errors.New(msg.Err))
+			err := errors.New(msg.Err)
+			c.fail(err)
+			c.settleHello(err)
 			return
 		default:
 			c.fail(fmt.Errorf("server: unexpected %q from server", msg.Type))

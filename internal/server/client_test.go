@@ -54,6 +54,39 @@ func TestClientProgressNarrowsRemVolume(t *testing.T) {
 	}
 }
 
+// TestRequestDiscardsPreviousGrant: WaitForBandwidth right after a fresh
+// RequestIO must wait for that request's verdict, not return the previous
+// phase's stale bandwidth (the server pushes nothing at complete, so the
+// client discards its grant state when requesting).
+func TestRequestDiscardsPreviousGrant(t *testing.T) {
+	_, addr := startServer(t, core.MaxSysEff())
+	c, err := Dial(addr, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.RequestIO(40, 10, 12); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitForBandwidth(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CompleteIO(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RequestIO(40, 10, 12); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitForBandwidth(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The second wait must have been satisfied by the second phase's
+	// grant (seq 2), not the first phase's remembered value.
+	if got := c.Seq(); got != 2 {
+		t.Errorf("after second phase's wait, applied seq = %d, want 2", got)
+	}
+}
+
 func TestWaitForBandwidthTimesOut(t *testing.T) {
 	_, addr := startServer(t, core.MaxSysEff())
 	c, err := Dial(addr, 1, 4)

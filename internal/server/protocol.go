@@ -17,11 +17,16 @@ import (
 )
 
 // Message types. Clients send hello/request/progress/complete/bye;
-// the server sends grant/error.
+// the server sends welcome/grant/error.
 const (
 	// TypeHello registers an application: AppID, Nodes, and optionally
 	// Work and IdealTime per upcoming instance for efficiency accounting.
 	TypeHello = "hello"
+	// TypeWelcome acknowledges a successful registration. It is the first
+	// message the server sends on a connection, before any grant, so a
+	// client can treat registration as synchronous: a duplicate app ID or
+	// malformed hello is answered with an error instead.
+	TypeWelcome = "welcome"
 	// TypeRequest asks to start an I/O phase of Volume GiB; Work is the
 	// computation completed since the previous phase, IdealTime the
 	// dedicated-mode duration of the instance (both feed the policy's
@@ -58,8 +63,11 @@ type Message struct {
 
 	// Grant fields.
 	BW float64 `json:"bw_gibs,omitempty"`
-	// Seq increases with every allocation round so clients can discard
-	// out-of-order grants.
+	// Seq is the per-session grant sequence: it increases by one with
+	// every grant pushed to this application, and grants for one session
+	// are written in sequence order, so a client applying grants in
+	// arrival order can never regress to an older allocation round's
+	// value (and can discard any stale duplicate defensively).
 	Seq uint64 `json:"seq,omitempty"`
 
 	// Error field.
@@ -84,7 +92,7 @@ func (m *Message) Validate() error {
 		if m.Volume < 0 {
 			return fmt.Errorf("server: progress with volume = %g", m.Volume)
 		}
-	case TypeComplete, TypeBye, TypeGrant, TypeError:
+	case TypeComplete, TypeBye, TypeWelcome, TypeGrant, TypeError:
 	default:
 		return fmt.Errorf("server: unknown message type %q", m.Type)
 	}

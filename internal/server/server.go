@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/xsort"
 )
 
 // Config describes the scheduler daemon.
@@ -27,6 +28,16 @@ type Config struct {
 
 // Server is the global I/O scheduler daemon. Create with New, start with
 // Serve (or let ListenAndServe create the listener), stop with Close.
+//
+// The allocation path mirrors the simulator's hot loop (internal/sim): the
+// candidate set is maintained incrementally as messages arrive instead of
+// rescanning all sessions, policy invocations run out of reusable
+// core.Scratch buffers, and decision rounds that are provably redundant
+// under the policy's declared capabilities (Memoizable, Saturating,
+// SingleFullGrant) are resolved without invoking the policy at all. A
+// steady-state round — a progress report that changes no discrete
+// scheduler-visible state — therefore allocates nothing and pushes
+// nothing.
 type Server struct {
 	cfg   Config
 	start time.Time
@@ -36,25 +47,113 @@ type Server struct {
 	// conns tracks every live connection, including those still in the
 	// hello handshake, so Close can cut stalled reads immediately.
 	conns  map[net.Conn]struct{}
-	seq    uint64
 	closed bool
 	ln     net.Listener
 	wg     sync.WaitGroup
 
-	// wake re-triggers allocation at a Waker policy's chosen time (e.g.
-	// core.Timeout promoting expired stalls).
-	wake *time.Timer
+	// clock returns seconds since start; split from cfg.Now so tests can
+	// drive the decision path with exact float instants.
+	clock func() float64
 
-	// decisions counts allocation rounds (metrics endpoint of sorts).
+	// candidates holds the sessions whose view currently wants I/O,
+	// ascending by application ID. candVersion bumps on every membership
+	// change and on every discrete view-state change (the Memoizable
+	// contract of core/allocate.go, including the rule that applying a
+	// grant which flips Started/Phase/PendingSince invalidates the memo).
+	candidates  []*session
+	candVersion uint64
+	// want caches the candidate views slice handed to the policy; it is
+	// rebuilt only when wantVersion falls behind candVersion.
+	want        []*core.AppView
+	wantVersion uint64
+	wantValid   bool
+
+	// caps is the policy's capability set, resolved once; scr holds the
+	// policy's reusable allocation buffers.
+	caps core.EngineCaps
+	scr  core.Scratch
+
+	// Decision-skipping state: the candidate-set version of the last
+	// applied decision (capacity is constant for a daemon). decided is
+	// false until one happened.
+	decided        bool
+	decidedVersion uint64
+	round          uint64 // current decision round, for grantRound marking
+
+	// batch collects one round's grant pushes; it is flushed to the
+	// per-session outboxes before the state lock is released, so the
+	// per-session wire order is the round order.
+	batch []pushGrant
+
+	// wake re-triggers allocation at a Waker policy's chosen time (e.g.
+	// core.Timeout promoting expired stalls). The timer is created once
+	// and re-armed with Reset; wakeArmed gates the callback so a timer
+	// disarmed after the candidate set emptied cannot fire a spurious
+	// round, and wakeAt dedupes re-arms at an unchanged target.
+	wake      *time.Timer
+	wakeArmed bool
+	wakeAt    float64
+
+	// Operational counters (see Metrics).
+	rounds    uint64
 	decisions uint64
+	skipped   uint64
+	pushes    uint64
 }
 
 // session is one connected application.
 type session struct {
 	conn net.Conn
-	wmu  sync.Mutex // serializes writes (grants are pushed from other sessions' events)
 	view core.AppView
-	bw   float64 // last pushed grant
+	bw   float64 // last decided grant
+	cand bool    // membership in Server.candidates
+
+	// pushedBW is the last grant value enqueued to this session;
+	// pushedValid is false until the first push after a request (or
+	// registration), so a request's verdict — even a zero — is always
+	// answered once, and unchanged verdicts are never repeated. This is
+	// what keeps one chatty application from making the daemon spam
+	// bw=0 grants to every stalled peer on every round.
+	pushedBW    float64
+	pushedValid bool
+
+	// seq is the session's monotone grant sequence (see Message.Seq).
+	seq uint64
+
+	// grantRound/grantBW communicate one decision's grant without a
+	// per-round map: valid when grantRound equals the server's round.
+	grantRound uint64
+	grantBW    float64
+
+	// The outbox decouples scheduling from delivery: rounds enqueue
+	// messages under the server lock and a per-session writer goroutine
+	// drains them to the connection, so one slow client can neither
+	// stall scheduling nor delay pushes to its peers.
+	outMu   sync.Mutex
+	outCond *sync.Cond
+	outbox  []Message
+	closing bool
+	outDone chan struct{}
+}
+
+// enqueue appends a message to the session's outbox.
+func (sess *session) enqueue(msg Message) {
+	sess.outMu.Lock()
+	if !sess.closing {
+		sess.outbox = append(sess.outbox, msg)
+		sess.outCond.Signal()
+	}
+	sess.outMu.Unlock()
+}
+
+// closeOutbox marks the outbox closed and waits for the writer to drain
+// what was already enqueued (or to die on a write error).
+func (sess *session) closeOutbox() {
+	sess.outMu.Lock()
+	sess.closing = true
+	sess.outCond.Signal()
+	sess.outMu.Unlock()
+	<-sess.outDone
 }
 
 // New builds a server.
@@ -68,19 +167,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		start:    cfg.Now(),
 		sessions: make(map[int]*session),
 		conns:    make(map[net.Conn]struct{}),
-	}, nil
+		caps:     core.CapsOf(cfg.Policy),
+	}
+	s.clock = func() float64 { return cfg.Now().Sub(s.start).Seconds() }
+	return s, nil
 }
 
 // now returns seconds since the server started; it is the time base for
 // the policy's efficiency bookkeeping.
-func (s *Server) now() float64 {
-	return s.cfg.Now().Sub(s.start).Seconds()
-}
+func (s *Server) now() float64 { return s.clock() }
 
 // ListenAndServe listens on addr ("host:port") and serves until Close.
 func (s *Server) ListenAndServe(addr string) error {
@@ -170,10 +270,7 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
-	if s.wake != nil {
-		s.wake.Stop()
-		s.wake = nil
-	}
+	s.disarmWakeLocked()
 	for conn := range s.conns {
 		conn.Close()
 	}
@@ -186,11 +283,50 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Decisions returns the number of allocation rounds performed.
+// Decisions returns the number of policy invocations performed.
 func (s *Server) Decisions() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.decisions
+}
+
+// Metrics is a snapshot of the daemon's operational counters.
+type Metrics struct {
+	// Policy is the scheduling policy's report name.
+	Policy string `json:"policy"`
+	// Sessions is the number of registered applications; Candidates how
+	// many of them currently want I/O.
+	Sessions   int `json:"sessions"`
+	Candidates int `json:"candidates"`
+	// Rounds counts allocation rounds with a non-empty candidate set;
+	// every round is either a Decision (the policy ran) or Skipped (the
+	// engine proved the outcome without invoking it), so Rounds =
+	// Decisions + Skipped and Rounds matches the per-message decision
+	// count of the pre-capability daemon.
+	Rounds    uint64 `json:"rounds"`
+	Decisions uint64 `json:"decisions"`
+	Skipped   uint64 `json:"skipped"`
+	// GrantPushes counts grant messages enqueued to clients (duplicate
+	// verdicts are suppressed and do not count).
+	GrantPushes uint64 `json:"grant_pushes"`
+	// UptimeSeconds is the server's age on its own clock.
+	UptimeSeconds float64 `json:"uptime_s"`
+}
+
+// Metrics returns a consistent snapshot of the operational counters.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Metrics{
+		Policy:        s.cfg.Policy.Name(),
+		Sessions:      len(s.sessions),
+		Candidates:    len(s.candidates),
+		Rounds:        s.rounds,
+		Decisions:     s.decisions,
+		Skipped:       s.skipped,
+		GrantPushes:   s.pushes,
+		UptimeSeconds: s.now(),
+	}
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -230,20 +366,20 @@ func (s *Server) handle(conn net.Conn, prev, done chan struct{}) {
 		s.replyError(conn, err)
 		return
 	}
-	defer s.drop(sess)
+	defer s.finish(sess)
 	conn.SetReadDeadline(time.Time{}) //nolint:errcheck // net.Conn deadline
 
 	for sc.Scan() {
 		msg, err := decode(sc.Bytes())
 		if err != nil {
-			s.replyError(conn, err)
+			s.sessionError(sess, err)
 			return
 		}
 		if err := s.dispatch(sess, msg); err != nil {
 			if errors.Is(err, errBye) {
 				return
 			}
-			s.replyError(conn, err)
+			s.sessionError(sess, err)
 			return
 		}
 	}
@@ -273,7 +409,10 @@ func readHello(sc *bufio.Scanner) (*Message, error) {
 	return decode(sc.Bytes())
 }
 
-// register validates the hello and installs the session.
+// register validates the hello, installs the session, starts its writer,
+// acknowledges with a welcome and runs a decision round (an application
+// joining is a scheduler-visible event, exactly like a release in the
+// simulator).
 func (s *Server) register(conn net.Conn, msg *Message) (*session, error) {
 	if msg.Type != TypeHello {
 		return nil, fmt.Errorf("server: first message is %q, want hello", msg.Type)
@@ -283,11 +422,12 @@ func (s *Server) register(conn net.Conn, msg *Message) (*session, error) {
 		view: core.AppView{
 			ID:      msg.AppID,
 			Nodes:   msg.Nodes,
-			Release: s.now(),
 			Phase:   core.Computing,
+			Release: 0, // set under the lock below
 		},
+		outDone: make(chan struct{}),
 	}
-	sess.view.LastIOEnd = sess.view.Release
+	sess.outCond = sync.NewCond(&sess.outMu)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -297,13 +437,58 @@ func (s *Server) register(conn net.Conn, msg *Message) (*session, error) {
 	if _, dup := s.sessions[msg.AppID]; dup {
 		return nil, fmt.Errorf("server: app id %d already connected", msg.AppID)
 	}
+	sess.view.Release = s.now()
+	sess.view.LastIOEnd = sess.view.Release
 	s.sessions[msg.AppID] = sess
+	s.wg.Add(1)
+	go s.writeLoop(sess)
+	sess.enqueue(Message{Type: TypeWelcome, AppID: msg.AppID})
 	s.logf("app %d joined (%d nodes)", msg.AppID, msg.Nodes)
+	s.roundLocked()
 	return sess, nil
 }
 
-// dispatch handles one post-hello message and triggers reallocation when
-// the I/O state changes.
+// writeLoop is the session's delivery goroutine: it drains the outbox to
+// the connection in enqueue order, which makes the session's grant
+// sequence monotone on the wire.
+func (s *Server) writeLoop(sess *session) {
+	defer s.wg.Done()
+	defer close(sess.outDone)
+	var buf []Message
+	for {
+		sess.outMu.Lock()
+		for len(sess.outbox) == 0 && !sess.closing {
+			sess.outCond.Wait()
+		}
+		if len(sess.outbox) == 0 {
+			sess.outMu.Unlock()
+			return
+		}
+		buf, sess.outbox = sess.outbox, buf[:0]
+		sess.outMu.Unlock()
+		for i := range buf {
+			b, err := encode(&buf[i])
+			if err != nil {
+				s.logf("app %d: encode: %v", sess.view.ID, err)
+				continue
+			}
+			if _, err := sess.conn.Write(b); err != nil {
+				s.logf("app %d: push: %v", sess.view.ID, err)
+				return
+			}
+		}
+	}
+}
+
+// sessionError pushes a protocol error through the session's outbox so it
+// serializes behind any pending grants; the handler's finish drains it
+// before the connection closes.
+func (s *Server) sessionError(sess *session, cause error) {
+	sess.enqueue(Message{Type: TypeError, Err: cause.Error()})
+	s.logf("app %d: protocol error: %v", sess.view.ID, cause)
+}
+
+// dispatch handles one post-hello message and runs a decision round.
 func (s *Server) dispatch(sess *session, msg *Message) error {
 	if msg.AppID != 0 && msg.AppID != sess.view.ID {
 		return fmt.Errorf("server: message for app %d on app %d's connection", msg.AppID, sess.view.ID)
@@ -317,16 +502,24 @@ func (s *Server) dispatch(sess *session, msg *Message) error {
 		sess.view.RemVolume = msg.Volume
 		sess.view.Started = false
 		sess.view.PendingSince = s.now()
+		// A fresh request must always be answered, even with a zero.
+		sess.pushedValid = false
+		s.candAddLocked(sess)
+		// The request changed discrete scheduler-visible state whether or
+		// not the session was already a candidate.
+		s.candVersion++
 	case TypeProgress:
 		if sess.view.WantsIO() && msg.Volume < sess.view.RemVolume {
 			sess.view.RemVolume = msg.Volume
+			if sess.view.RemVolume <= 0 {
+				// The transfer drained to zero through progress reports:
+				// complete it instead of leaving a ghost Transferring
+				// view with a stale LastIOEnd outside the candidate set.
+				s.completeLocked(sess)
+			}
 		}
 	case TypeComplete:
-		sess.view.Phase = core.Computing
-		sess.view.RemVolume = 0
-		sess.view.Started = false
-		sess.view.LastIOEnd = s.now()
-		sess.bw = 0
+		s.completeLocked(sess)
 	case TypeBye:
 		s.mu.Unlock()
 		return errBye
@@ -337,23 +530,74 @@ func (s *Server) dispatch(sess *session, msg *Message) error {
 		s.mu.Unlock()
 		return fmt.Errorf("server: unexpected %q from client", msg.Type)
 	}
-	grants := s.reallocateLocked()
+	s.roundLocked()
 	s.mu.Unlock()
-	s.push(grants)
 	return nil
 }
 
-// drop removes a session and rebalances the remaining applications.
-func (s *Server) drop(sess *session) {
+// completeLocked finishes the session's current I/O phase. Callers hold
+// s.mu.
+func (s *Server) completeLocked(sess *session) {
+	sess.view.Phase = core.Computing
+	sess.view.RemVolume = 0
+	sess.view.Started = false
+	sess.view.LastIOEnd = s.now()
+	sess.bw = 0
+	sess.pushedValid = false
+	s.candRemoveLocked(sess)
+}
+
+// finish deregisters a session, rebalances the survivors and drains the
+// session's outbox so a final error message still reaches the client.
+func (s *Server) finish(sess *session) {
 	s.mu.Lock()
 	if cur, ok := s.sessions[sess.view.ID]; ok && cur == sess {
 		delete(s.sessions, sess.view.ID)
 		s.logf("app %d left", sess.view.ID)
 	}
-	grants := s.reallocateLocked()
+	s.candRemoveLocked(sess)
+	s.roundLocked()
 	s.mu.Unlock()
-	s.push(grants)
+	sess.closeOutbox()
 }
+
+// --- incremental candidate tracking ----------------------------------------
+
+func sessLess(a, b *session) bool { return a.view.ID < b.view.ID }
+
+func (s *Server) candAddLocked(sess *session) {
+	if sess.cand {
+		return
+	}
+	sess.cand = true
+	s.candidates = xsort.Insert(s.candidates, sess, sessLess)
+	s.candVersion++
+}
+
+func (s *Server) candRemoveLocked(sess *session) {
+	if !sess.cand {
+		return
+	}
+	sess.cand = false
+	s.candidates = xsort.Remove(s.candidates, sess, sessLess)
+	s.candVersion++
+}
+
+// wantViewsLocked returns the candidate views in ID order, rebuilding the
+// cached slice only when the candidate set changed.
+func (s *Server) wantViewsLocked() []*core.AppView {
+	if !s.wantValid || s.wantVersion != s.candVersion {
+		s.want = s.want[:0]
+		for _, sess := range s.candidates {
+			s.want = append(s.want, &sess.view)
+		}
+		s.wantVersion = s.candVersion
+		s.wantValid = true
+	}
+	return s.want
+}
+
+// --- decision rounds --------------------------------------------------------
 
 // pushGrant is one outgoing grant with its target session.
 type pushGrant struct {
@@ -361,103 +605,204 @@ type pushGrant struct {
 	msg  Message
 }
 
-// reallocateLocked runs the policy over the current views and returns the
-// set of grant pushes for sessions whose bandwidth changed. Callers hold
-// s.mu.
-func (s *Server) reallocateLocked() []pushGrant {
-	var want []*core.AppView
-	bySessID := make(map[int]*session)
-	for id, sess := range s.sessions {
-		if sess.view.WantsIO() {
-			want = append(want, &sess.view)
-			bySessID[id] = sess
-		}
-	}
-	if len(want) == 0 {
-		return nil
-	}
-	s.decisions++
-	s.seq++
-	cap := core.Capacity{TotalBW: s.cfg.TotalBW, NodeBW: s.cfg.NodeBW}
-	grants := s.cfg.Policy.Allocate(s.now(), want, cap)
-	granted := make(map[int]float64, len(grants))
-	for _, g := range grants {
-		granted[g.AppID] = g.BW
-	}
-	var out []pushGrant
-	for id, sess := range bySessID {
-		bw := granted[id]
-		if bw == sess.bw && sess.view.Started {
-			continue // no change; don't spam the client
-		}
-		sess.bw = bw
-		if bw > 0 {
-			sess.view.Phase = core.Transferring
-			sess.view.Started = true
-		} else {
-			if sess.view.Phase == core.Transferring {
-				sess.view.PendingSince = s.now()
-			}
-			sess.view.Phase = core.Pending
-		}
-		out = append(out, pushGrant{
-			sess: sess,
-			msg:  Message{Type: TypeGrant, AppID: id, BW: bw, Seq: s.seq},
-		})
-	}
-	s.armWakeLocked(want)
-	return out
+// roundLocked resolves the decision point for the current state, arms or
+// disarms the policy's wake timer and flushes the round's push batch to
+// the session outboxes. Callers hold s.mu.
+func (s *Server) roundLocked() {
+	now := s.now()
+	s.decideLocked(now)
+	s.armWakeLocked(now)
+	s.flushLocked()
 }
 
-// armWakeLocked (re)arms the policy's self-wake timer. Callers hold s.mu.
-func (s *Server) armWakeLocked(views []*core.AppView) {
-	w, ok := s.cfg.Policy.(core.Waker)
-	if !ok || s.closed {
+// decideLocked runs one allocation round: skip when the outcome is
+// provably the previous one, apply the known uncongested outcome for
+// saturating policies, or invoke the policy. Grant pushes for sessions
+// whose bandwidth verdict changed are appended to s.batch.
+func (s *Server) decideLocked(now float64) {
+	if len(s.candidates) == 0 {
 		return
 	}
-	now := s.now()
-	wake, want := w.NextWake(now, views)
-	if s.wake != nil {
-		s.wake.Stop()
-		s.wake = nil
-	}
-	if !want || wake <= now {
+	s.rounds++
+	cap := core.Capacity{TotalBW: s.cfg.TotalBW, NodeBW: s.cfg.NodeBW}
+
+	// Memoizable skip: the policy's output is a pure function of the
+	// candidate identities, their discrete state and the (constant)
+	// capacity; none changed since the applied decision. Discrete changes
+	// bump candVersion — including from inside applyGrantLocked, so a
+	// decision that flips view state invalidates its own memo.
+	if s.caps.Memoizable && s.decided && s.candVersion == s.decidedVersion {
+		s.skipped++
 		return
 	}
-	s.wake = time.AfterFunc(time.Duration((wake-now)*float64(time.Second)), func() {
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
+
+	// Single-candidate fast path: a lone requester receives exactly
+	// min(β·b, B) under every SingleFullGrant policy.
+	if s.caps.SingleFullGrant && len(s.candidates) == 1 {
+		sess := s.candidates[0]
+		bw := float64(sess.view.Nodes) * cap.NodeBW
+		if bw > cap.TotalBW {
+			bw = cap.TotalBW
+		}
+		s.applyGrantLocked(sess, bw, now)
+		s.skipped++
+		s.decided = true
+		// Post-apply version is sound: the outcome depends only on the
+		// candidate set, not on the fields applyGrantLocked changed.
+		s.decidedVersion = s.candVersion
+		return
+	}
+
+	// Saturating fast path: when total demand fits the capacity with a
+	// margin that dwarfs greedy summation rounding, a Saturating policy
+	// grants every candidate exactly β·b whatever its internal order.
+	if s.caps.Saturating {
+		demand := 0.0
+		for _, sess := range s.candidates {
+			demand += float64(sess.view.Nodes) * cap.NodeBW
+		}
+		if demand <= cap.TotalBW*(1-1e-9) {
+			for _, sess := range s.candidates {
+				s.applyGrantLocked(sess, float64(sess.view.Nodes)*cap.NodeBW, now)
+			}
+			s.skipped++
+			s.decided = true
+			s.decidedVersion = s.candVersion
 			return
 		}
-		grants := s.reallocateLocked()
-		s.mu.Unlock()
-		s.push(grants)
+	}
+
+	want := s.wantViewsLocked()
+	// The decision is computed from the views as they are NOW; capture
+	// the version before application, because applying the grants can
+	// itself change discrete view state (bumping candVersion), and a memo
+	// over the pre-application inputs must not survive that.
+	ver := s.candVersion
+	grants := core.AllocateWith(s.cfg.Policy, &s.scr, now, want, cap)
+	s.decisions++
+	s.round++
+	for _, g := range grants {
+		if sess, ok := s.sessions[g.AppID]; ok && sess.cand {
+			sess.grantRound = s.round
+			sess.grantBW = g.BW
+		}
+	}
+	for _, sess := range s.candidates {
+		bw := 0.0
+		if sess.grantRound == s.round {
+			bw = sess.grantBW
+		}
+		s.applyGrantLocked(sess, bw, now)
+	}
+	s.decided = true
+	s.decidedVersion = ver
+}
+
+// applyGrantLocked installs one session's bandwidth verdict, keeps the
+// scheduler-visible phase in step, and enqueues a push when the verdict
+// changed (or was never answered since the last request).
+//
+// Applying a decision can itself change discrete view state a Memoizable
+// policy is allowed to read — Started flips true on a first grant, Phase
+// toggles, a preemption restarts PendingSince. Each such change bumps
+// candVersion so the memo over the pre-application inputs dies with it
+// (the iosched-sim/3 rule shared with internal/sim).
+func (s *Server) applyGrantLocked(sess *session, bw, now float64) {
+	sess.bw = bw
+	if bw > 0 {
+		if !sess.view.Started || sess.view.Phase != core.Transferring {
+			s.candVersion++
+		}
+		sess.view.Phase = core.Transferring
+		sess.view.Started = true
+	} else {
+		if sess.view.Phase == core.Transferring {
+			// Preempted: the stall clock restarts now.
+			sess.view.PendingSince = now
+			s.candVersion++
+		}
+		sess.view.Phase = core.Pending
+	}
+	if sess.pushedValid && bw == sess.pushedBW {
+		return // unchanged verdict; don't spam the client
+	}
+	sess.pushedValid = true
+	sess.pushedBW = bw
+	sess.seq++
+	s.pushes++
+	s.batch = append(s.batch, pushGrant{
+		sess: sess,
+		msg:  Message{Type: TypeGrant, AppID: sess.view.ID, BW: bw, Seq: sess.seq},
 	})
 }
 
-// push delivers grant messages outside the state lock (a slow client must
-// not stall scheduling; each session has its own write lock).
-func (s *Server) push(grants []pushGrant) {
-	for _, g := range grants {
-		g := g
-		if err := s.send(g.sess, &g.msg); err != nil {
-			s.logf("app %d: push: %v", g.msg.AppID, err)
-		}
+// flushLocked moves the round's push batch into the session outboxes.
+// Enqueueing under s.mu pins each session's wire order to the round
+// order; the actual writes happen in the per-session writer goroutines.
+func (s *Server) flushLocked() {
+	for i := range s.batch {
+		s.batch[i].sess.enqueue(s.batch[i].msg)
+		s.batch[i].sess = nil
 	}
+	s.batch = s.batch[:0]
 }
 
-func (s *Server) send(sess *session, msg *Message) error {
-	b, err := encode(msg)
-	if err != nil {
-		return err
+// --- wake timer -------------------------------------------------------------
+
+// armWakeLocked (re)arms the policy's self-wake timer, or disarms it when
+// the candidate set is empty (a wake without candidates could only fire a
+// spurious round). Callers hold s.mu.
+func (s *Server) armWakeLocked(now float64) {
+	if s.caps.Waker == nil || s.closed {
+		return
 	}
-	sess.wmu.Lock()
-	defer sess.wmu.Unlock()
-	_, err = sess.conn.Write(b)
-	return err
+	if len(s.candidates) == 0 {
+		s.disarmWakeLocked()
+		return
+	}
+	wake, want := s.caps.Waker.NextWake(now, s.wantViewsLocked())
+	if !want || wake <= now {
+		s.disarmWakeLocked()
+		return
+	}
+	if s.wakeArmed && s.wakeAt == wake {
+		return // already armed at this target
+	}
+	d := time.Duration((wake - now) * float64(time.Second))
+	if s.wake == nil {
+		s.wake = time.AfterFunc(d, s.onWake)
+	} else {
+		s.wake.Stop()
+		s.wake.Reset(d)
+	}
+	s.wakeArmed = true
+	s.wakeAt = wake
 }
 
+// disarmWakeLocked stops the wake timer. A callback that already fired
+// finds wakeArmed false and returns without a round. Callers hold s.mu.
+func (s *Server) disarmWakeLocked() {
+	if s.wake != nil {
+		s.wake.Stop()
+	}
+	s.wakeArmed = false
+}
+
+// onWake is the wake timer's callback: one decision round, gated so a
+// disarmed timer cannot fire a spurious one.
+func (s *Server) onWake() {
+	s.mu.Lock()
+	if s.closed || !s.wakeArmed {
+		s.mu.Unlock()
+		return
+	}
+	s.wakeArmed = false
+	s.roundLocked()
+	s.mu.Unlock()
+}
+
+// replyError answers a connection that has no session (hello failures)
+// directly; registered sessions route errors through their outbox.
 func (s *Server) replyError(conn net.Conn, cause error) {
 	b, err := encode(&Message{Type: TypeError, Err: cause.Error()})
 	if err == nil {

@@ -208,22 +208,22 @@ func TestDuplicateAppID(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer a.Close()
+	// Registration is synchronous: the duplicate's rejection surfaces at
+	// dial time, not later through Err.
 	b, err := Dial(addr, 7, 2)
-	if err != nil {
+	if err == nil {
+		b.Close()
+		t.Fatal("duplicate app ID accepted at dial time")
+	}
+	if !strings.Contains(err.Error(), "already connected") {
+		t.Errorf("duplicate rejection error = %q, want it to name the duplicate", err)
+	}
+	// The original session is unaffected.
+	if err := a.RequestIO(4, 1, 2); err != nil {
 		t.Fatal(err)
 	}
-	defer b.Close()
-	// The duplicate gets an error pushed and its grant stream closed.
-	select {
-	case _, ok := <-b.Grants():
-		if ok {
-			t.Error("duplicate got a grant instead of an error")
-		}
-	case <-time.After(2 * time.Second):
-		t.Error("duplicate connection not rejected")
-	}
-	if b.Err() == nil {
-		t.Error("duplicate client has no terminal error")
+	if _, err := a.WaitForBandwidth(2 * time.Second); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// fakeAddr satisfies net.Addr for the in-memory connections below.
+type fakeAddr struct{}
+
+func (fakeAddr) Network() string { return "fake" }
+func (fakeAddr) String() string  { return "fake" }
+
+// discardConn is a net.Conn that swallows writes; it lets tests and
+// benchmarks drive the server's decision path directly, without sockets.
+type discardConn struct{}
+
+func (discardConn) Read(b []byte) (int, error)       { return 0, io.EOF }
+func (discardConn) Write(b []byte) (int, error)      { return len(b), nil }
+func (discardConn) Close() error                     { return nil }
+func (discardConn) LocalAddr() net.Addr              { return fakeAddr{} }
+func (discardConn) RemoteAddr() net.Addr             { return fakeAddr{} }
+func (discardConn) SetDeadline(time.Time) error      { return nil }
+func (discardConn) SetReadDeadline(time.Time) error  { return nil }
+func (discardConn) SetWriteDeadline(time.Time) error { return nil }
+
+// recordConn is a net.Conn that records everything written to it, so a
+// test can assert exactly which messages the server pushed.
+type recordConn struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (c *recordConn) Read(b []byte) (int, error) { return 0, io.EOF }
+func (c *recordConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.Write(b)
+}
+func (c *recordConn) Close() error                     { return nil }
+func (c *recordConn) LocalAddr() net.Addr              { return fakeAddr{} }
+func (c *recordConn) RemoteAddr() net.Addr             { return fakeAddr{} }
+func (c *recordConn) SetDeadline(time.Time) error      { return nil }
+func (c *recordConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *recordConn) SetWriteDeadline(time.Time) error { return nil }
+
+// messages decodes every line written so far.
+func (c *recordConn) messages() ([]*Message, error) {
+	c.mu.Lock()
+	lines := strings.Split(strings.TrimSuffix(c.buf.String(), "\n"), "\n")
+	c.mu.Unlock()
+	var out []*Message
+	for _, l := range lines {
+		if l == "" {
+			continue
+		}
+		m, err := decode([]byte(l))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

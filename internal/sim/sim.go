@@ -185,11 +185,8 @@ type simulation struct {
 	// due is the per-instant firing list, reused across events.
 	due []*appState
 
-	// Scheduler capabilities, resolved once.
-	isMemoizable bool
-	isSaturating bool
-	isSingleFull bool
-	waker        core.Waker
+	// Scheduler capabilities, resolved once (core.CapsOf).
+	caps core.EngineCaps
 
 	// Decision-skipping state: the candidate-set version and capacity of
 	// the last applied decision. decided is false until one happened.
@@ -236,10 +233,7 @@ func newSimulation(cfg Config) *simulation {
 		}
 	}
 	s.unfinished = len(s.apps)
-	s.isMemoizable = core.IsMemoizable(cfg.Scheduler)
-	s.isSaturating = core.IsSaturating(cfg.Scheduler)
-	s.isSingleFull = core.IsSingleFullGrant(cfg.Scheduler)
-	s.waker, _ = cfg.Scheduler.(core.Waker)
+	s.caps = core.CapsOf(cfg.Scheduler)
 	s.maxTime = cfg.MaxTime
 	if s.maxTime == 0 {
 		// Even full serialization of all I/O cannot exceed the summed
@@ -490,10 +484,10 @@ func (s *simulation) nextEventTime() float64 {
 // schedulerWake asks a Waker scheduler for its next self-chosen decision
 // point.
 func (s *simulation) schedulerWake() (float64, bool) {
-	if s.waker == nil || len(s.candidates) == 0 {
+	if s.caps.Waker == nil || len(s.candidates) == 0 {
 		return 0, false
 	}
-	return s.waker.NextWake(s.now, s.wantViews())
+	return s.caps.Waker.NextWake(s.now, s.wantViews())
 }
 
 // bbFillTime returns the time the burst buffer becomes full at current
@@ -619,7 +613,7 @@ func (s *simulation) decide() {
 	// candVersion — and at decision application itself (Started, Phase,
 	// PendingSince), where applyGrant bumps candVersion too, so a decision
 	// that changed what a policy may read invalidates its own memo.
-	if s.isMemoizable && s.decided && s.candVersion == s.decidedVersion && cap == s.decidedCap {
+	if s.caps.Memoizable && s.decided && s.candVersion == s.decidedVersion && cap == s.decidedCap {
 		s.skipped++
 		return
 	}
@@ -628,7 +622,7 @@ func (s *simulation) decide() {
 	// min(β·b, B) under every SingleFullGrant policy, whatever the
 	// decision time — the expressions below mirror GreedyAllocate's bit
 	// for bit.
-	if s.isSingleFull && len(s.candidates) == 1 {
+	if s.caps.SingleFullGrant && len(s.candidates) == 1 {
 		st := s.candidates[0]
 		bw := float64(st.view.Nodes) * cap.NodeBW
 		if bw > cap.TotalBW {
@@ -649,7 +643,7 @@ func (s *simulation) decide() {
 	// relative margin that dwarfs greedy summation rounding, a
 	// Saturating policy grants every candidate exactly β·b whatever its
 	// internal order — apply that outcome directly.
-	if s.isSaturating {
+	if s.caps.Saturating {
 		demand := 0.0
 		for _, st := range s.candidates {
 			demand += float64(st.view.Nodes) * cap.NodeBW
