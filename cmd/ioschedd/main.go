@@ -6,19 +6,25 @@
 //
 // The wire protocol is newline-delimited JSON (see internal/server):
 //
-//	-> {"type":"hello","app_id":1,"nodes":4096}
+//	-> {"type":"hello","app_id":1,"nodes":4096,"profile":[{"work_s":600,"volume_gib":900}]}
 //	<- {"type":"welcome","app_id":1}
 //	-> {"type":"request","volume_gib":900,"work_s":600,"ideal_s":637}
 //	<- {"type":"grant","app_id":1,"bw_gibs":24,"seq":1}
 //	-> {"type":"complete"}
 //
-// With -metrics, the daemon also serves its operational counters as JSON
-// over HTTP:
+// With -metrics, the daemon serves its operational state as JSON over
+// HTTP: /metrics (counters), /healthz (liveness), and /snapshot (the
+// consistent live view the digital twin consumes — see cmd/iotwin).
 //
-//	ioschedd -listen :9449 -machine intrepid -metrics :9450
-//	curl http://localhost:9450/metrics
-//	{"policy":"Priority-MaxSysEff","sessions":12,"candidates":3,
-//	 "rounds":841,"decisions":512,"skipped":329,"grant_pushes":290,...}
+// With -advise, the daemon runs the observe-predict-advise-actuate loop
+// of internal/twin on the given period: it snapshots itself, forecasts a
+// panel of candidate policies on the simulator, and — guarded by
+// hysteresis — switches its own policy when a challenger keeps
+// forecasting better. The latest advice is served at /forecast.
+//
+//	ioschedd -listen :9449 -machine intrepid -metrics :9450 \
+//	         -advise 30s -advise-horizon 600
+//	curl http://localhost:9450/forecast
 package main
 
 import (
@@ -30,10 +36,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"slices"
+	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/server"
+	"repro/internal/twin"
 )
 
 func main() {
@@ -43,17 +54,27 @@ func main() {
 		machine = flag.String("machine", "", "platform preset supplying B and b (intrepid, mira, vesta)")
 		totalBW = flag.Float64("B", 0, "file-system bandwidth B in GiB/s (overrides -machine)")
 		nodeBW  = flag.Float64("b", 0, "per-node I/O-card bandwidth b in GiB/s (overrides -machine)")
-		metrics = flag.String("metrics", "", "HTTP listen address for the /metrics endpoint (disabled when empty)")
+		metrics = flag.String("metrics", "", "HTTP listen address for /metrics, /healthz, /snapshot, /forecast (disabled when empty)")
 		quiet   = flag.Bool("quiet", false, "disable connection logging")
+
+		advise    = flag.Duration("advise", 0, "advisor period (0 disables the forecast loop)")
+		advPanel  = flag.String("advise-policies", "", "candidate policy panel (default: the running policy plus the paper's heuristics)")
+		advHrzn   = flag.Float64("advise-horizon", 600, "forecast horizon in simulated seconds (0 = to completion)")
+		advMargin = flag.Float64("advise-margin", 0.05, "relative improvement required to challenge the running policy")
+		advPtnce  = flag.Int("advise-patience", 2, "consecutive winning forecasts before a switch")
+		advObj    = flag.String("advise-objective", "max-stretch", "advisor objective: max-stretch or sys-eff")
+		advApply  = flag.Bool("advise-apply", true, "apply recommended switches (false = advise only)")
 	)
 	flag.Parse()
 
 	B, b := *totalBW, *nodeBW
+	var preset *platform.Platform
 	if *machine != "" {
 		p, ok := platform.Presets()[*machine]
 		if !ok {
 			fatal(fmt.Errorf("unknown machine %q", *machine))
 		}
+		preset = p.WithoutBB()
 		if B == 0 {
 			B = p.TotalBW
 		}
@@ -83,20 +104,72 @@ func main() {
 		fatal(err)
 	}
 
+	var adv *advisorLoop
+	if *advise > 0 {
+		panel := splitList(*advPanel)
+		if len(panel) == 0 {
+			panel = defaultPanel(pol.Name())
+		}
+		advCfg := twin.AdvisorConfig{
+			Objective: twin.Objective(*advObj),
+			Margin:    *advMargin,
+			Patience:  *advPtnce,
+		}
+		adv = &advisorLoop{
+			srv:      srv,
+			platform: preset, // nil synthesizes one from each snapshot
+			panel:    panel,
+			horizon:  *advHrzn,
+			period:   *advise,
+			apply:    *advApply,
+			logger:   logger,
+			advCfg:   advCfg,
+			advisor:  twin.NewAdvisor(advCfg, pol.Name()),
+			stop:     make(chan struct{}),
+		}
+		go adv.run()
+		fmt.Fprintf(os.Stderr, "ioschedd: advisor every %v over %v (horizon %gs, apply=%v)\n",
+			*advise, panel, *advHrzn, *advApply)
+	}
+
 	if *metrics != "" {
 		mln, err := net.Listen("tcp", *metrics)
 		if err != nil {
 			fatal(fmt.Errorf("metrics endpoint: %w", err))
 		}
 		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			enc.Encode(srv.Metrics()) //nolint:errcheck // best-effort HTTP reply
+		serveJSON := func(path string, payload func() (any, bool)) {
+			mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+				v, ok := payload()
+				if !ok {
+					http.Error(w, "not available yet", http.StatusNotFound)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				enc.Encode(v) //nolint:errcheck // best-effort HTTP reply
+			})
+		}
+		serveJSON("/metrics", func() (any, bool) { return srv.Metrics(), true })
+		serveJSON("/snapshot", func() (any, bool) { return srv.Snapshot(), true })
+		serveJSON("/healthz", func() (any, bool) {
+			m := srv.Metrics()
+			return map[string]any{
+				"status":   "ok",
+				"policy":   m.Policy,
+				"uptime_s": m.UptimeSeconds,
+				"sessions": m.Sessions,
+			}, true
+		})
+		serveJSON("/forecast", func() (any, bool) {
+			if adv == nil {
+				return nil, false
+			}
+			return adv.lastReport()
 		})
 		go http.Serve(mln, mux) //nolint:errcheck // exits with the process
-		fmt.Fprintf(os.Stderr, "ioschedd: metrics on http://%s/metrics\n", mln.Addr())
+		fmt.Fprintf(os.Stderr, "ioschedd: metrics on http://%s/metrics (/healthz, /snapshot, /forecast)\n", mln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -104,6 +177,9 @@ func main() {
 	go func() {
 		<-sig
 		fmt.Fprintln(os.Stderr, "ioschedd: shutting down")
+		if adv != nil {
+			adv.close()
+		}
 		srv.Close()
 	}()
 
@@ -112,6 +188,155 @@ func main() {
 	if err := srv.ListenAndServe(*listen); err != nil {
 		fatal(err)
 	}
+}
+
+// Report is what /forecast serves: the latest advise round's outcome.
+type Report struct {
+	// Time is the snapshot instant (daemon clock) the round observed.
+	Time float64 `json:"time"`
+	// Advice is the advisor's verdict; Applied whether the daemon
+	// actually switched (false under -advise-apply=false).
+	Advice  twin.Advice `json:"advice"`
+	Applied bool        `json:"applied"`
+	// Forecasts is the full per-policy panel.
+	Forecasts []twin.Forecast `json:"forecasts"`
+	// SkippedApps lists sessions the twin could not reconstruct.
+	SkippedApps []int `json:"skipped_apps,omitempty"`
+	// Err is set when the round failed (e.g. nothing to forecast).
+	Err string `json:"err,omitempty"`
+}
+
+// advisorLoop runs the observe-predict-advise-actuate loop on a period.
+type advisorLoop struct {
+	srv      *server.Server
+	platform *platform.Platform
+	panel    []string
+	horizon  float64
+	period   time.Duration
+	apply    bool
+	logger   *log.Logger
+	advCfg   twin.AdvisorConfig
+	advisor  *twin.Advisor
+
+	mu     sync.Mutex
+	report *Report
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+func (a *advisorLoop) close() { a.stopOnce.Do(func() { close(a.stop) }) }
+
+func (a *advisorLoop) lastReport() (any, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.report == nil {
+		return nil, false
+	}
+	return a.report, true
+}
+
+func (a *advisorLoop) setReport(r *Report) {
+	a.mu.Lock()
+	a.report = r
+	a.mu.Unlock()
+}
+
+func (a *advisorLoop) logf(format string, args ...any) {
+	if a.logger != nil {
+		a.logger.Printf(format, args...)
+	}
+}
+
+func (a *advisorLoop) run() {
+	tick := time.NewTicker(a.period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-tick.C:
+		}
+		a.step()
+	}
+}
+
+// step is one advise round.
+func (a *advisorLoop) step() {
+	sys := a.srv.Snapshot()
+	report := &Report{Time: sys.Time}
+	defer func() { a.setReport(report) }()
+
+	conv, err := twin.FromSystem(sys, a.platform)
+	if err != nil {
+		report.Err = err.Error()
+		return
+	}
+	report.SkippedApps = conv.Skipped
+	eng, err := twin.New(twin.Config{Platform: conv.Platform, Horizon: a.horizon})
+	if err != nil {
+		report.Err = err.Error()
+		return
+	}
+	panel := a.panel
+	if !slices.Contains(panel, sys.Policy) {
+		// The incumbent must be in the panel or the advisor cannot
+		// compare against it (e.g. after an operator-initiated switch).
+		panel = append(append([]string(nil), panel...), sys.Policy)
+	}
+	forecasts, err := eng.Forecast(conv.Apps, conv.Snapshot, panel)
+	if err != nil {
+		report.Err = err.Error()
+		return
+	}
+	a.srv.NoteForecast()
+	report.Forecasts = forecasts
+
+	if a.advisor.Current() != sys.Policy {
+		// The daemon's policy changed outside the advisor; re-anchor.
+		a.advisor = twin.NewAdvisor(a.advCfg, sys.Policy)
+	}
+	advice, err := a.advisor.Assess(forecasts)
+	if err != nil {
+		report.Err = err.Error()
+		return
+	}
+	report.Advice = advice
+	if advice.Switch && a.apply {
+		next, err := core.ByName(advice.Best)
+		if err != nil {
+			report.Err = err.Error()
+			return
+		}
+		if err := a.srv.SetPolicy(next); err != nil {
+			report.Err = err.Error()
+			return
+		}
+		report.Applied = true
+		a.logf("advisor: %s", advice.Reason)
+	}
+}
+
+// defaultPanel is the running policy plus the paper's heuristics and the
+// fair-share baseline.
+func defaultPanel(current string) []string {
+	panel := []string{current}
+	for _, name := range []string{"Priority-MaxSysEff", "MaxSysEff", "MinDilation", "RoundRobin", "fair-share"} {
+		if !slices.Contains(panel, name) {
+			panel = append(panel, name)
+		}
+	}
+	return panel
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

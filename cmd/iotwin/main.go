@@ -1,0 +1,200 @@
+// Command iotwin is the what-if CLI of the digital-twin layer
+// (internal/twin): it forecasts a system's future under a panel of
+// candidate scheduling policies, either from a live daemon's exported
+// snapshot or from a paper scenario fast-forwarded to a chosen instant.
+//
+//	# forecast a daemon snapshot (ioschedd -metrics serves /snapshot)
+//	curl -s http://localhost:9450/snapshot > snap.json
+//	iotwin -snapshot snap.json -policies MaxSysEff,RoundRobin,fair-share
+//
+//	# what-if over a paper scenario: snapshot fig6a at t=2000 and compare
+//	iotwin -scenario fig6a -seed 7 -policy MaxSysEff -at 2000 \
+//	       -policies MaxSysEff,MinDilation,fair-share -horizon 600
+//
+// The forecast table reports, per policy, the predicted max/mean stretch
+// (the paper's Dilation objective), the SysEfficiency estimate at the
+// horizon, burst-buffer pressure, and whether the workload completes
+// within the horizon. -json emits the raw forecasts instead; -apps adds
+// the per-application finish predictions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/twin"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		snapPath = flag.String("snapshot", "", "daemon snapshot JSON file ('-' for stdin)")
+		scenario = flag.String("scenario", "", "paper scenario to what-if (fig6a, fig6b, fig6c)")
+		seed     = flag.Int64("seed", 7, "scenario seed")
+		policy   = flag.String("policy", "Priority-MaxSysEff", "policy running before the snapshot (scenario mode)")
+		at       = flag.Float64("at", 0, "scenario instant to snapshot at (seconds; 0 = 40% of the makespan)")
+		policies = flag.String("policies", "MaxSysEff,Priority-MaxSysEff,RoundRobin,MinDilation,fair-share",
+			"comma-separated candidate policy panel")
+		horizon = flag.Float64("horizon", 0, "forecast horizon in seconds (0 = to completion)")
+		machine = flag.String("machine", "", "platform preset for snapshot mode (intrepid, mira, vesta); empty synthesizes one")
+		workers = flag.Int("workers", 0, "parallel forecasts (default GOMAXPROCS)")
+		asJSON  = flag.Bool("json", false, "emit raw forecast JSON")
+		showApp = flag.Bool("apps", false, "include per-application predictions in the table")
+	)
+	flag.Parse()
+
+	panel := splitList(*policies)
+	if len(panel) == 0 {
+		fatal(fmt.Errorf("empty -policies"))
+	}
+
+	var (
+		p    *platform.Platform
+		apps []*platform.App
+		snap *sim.Snapshot
+		err  error
+	)
+	switch {
+	case *snapPath != "" && *scenario != "":
+		fatal(fmt.Errorf("-snapshot and -scenario are mutually exclusive"))
+	case *snapPath != "":
+		p, apps, snap, err = fromSnapshotFile(*snapPath, *machine)
+	case *scenario != "":
+		p, apps, snap, err = fromScenario(*scenario, *seed, *policy, *at)
+	default:
+		fatal(fmt.Errorf("need -snapshot <file> or -scenario <fig6a|fig6b|fig6c>"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	eng, err := twin.New(twin.Config{Platform: p, Horizon: *horizon, Workers: *workers})
+	if err != nil {
+		fatal(err)
+	}
+	forecasts, err := eng.Forecast(apps, snap, panel)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(forecasts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("forecast from t=%.1f s over %d application(s) on %s (%d policies)\n\n",
+		snap.Time, len(apps), p.Name, len(forecasts))
+	fmt.Printf("%-24s %6s %10s %10s %10s %10s %8s\n",
+		"policy", "done", "until", "maxStretch", "meanStr", "sysEff%", "events")
+	for _, f := range forecasts {
+		if f.Err != "" {
+			fmt.Printf("%-24s  FAILED: %s\n", f.Policy, f.Err)
+			continue
+		}
+		fmt.Printf("%-24s %6v %10.1f %10.3f %10.3f %10.2f %8d\n",
+			f.Policy, f.Done, f.Until, f.MaxStretch, f.MeanStretch, f.SysEfficiency, f.Events)
+		if *showApp {
+			for _, a := range f.Apps {
+				fmt.Printf("    app %-4d %-12s %5d nodes  finish %10.1f  stretch %7.3f  done %v\n",
+					a.ID, a.Name, a.Nodes, a.Finish, a.Stretch, a.Done)
+			}
+		}
+	}
+}
+
+// fromSnapshotFile loads a daemon SystemSnapshot and converts it.
+func fromSnapshotFile(path, machine string) (*platform.Platform, []*platform.App, *sim.Snapshot, error) {
+	var b []byte
+	var err error
+	if path == "-" {
+		b, err = io.ReadAll(os.Stdin)
+	} else {
+		b, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var sys server.SystemSnapshot
+	if err := json.Unmarshal(b, &sys); err != nil {
+		return nil, nil, nil, fmt.Errorf("parsing snapshot %s: %w", path, err)
+	}
+	var p *platform.Platform
+	if machine != "" {
+		preset, ok := platform.Presets()[machine]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("unknown machine %q", machine)
+		}
+		p = preset.WithoutBB()
+	}
+	conv, err := twin.FromSystem(&sys, p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(conv.Skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "iotwin: %d session(s) not forecastable (no profile, no transfer): %v\n",
+			len(conv.Skipped), conv.Skipped)
+	}
+	return conv.Platform, conv.Apps, conv.Snapshot, nil
+}
+
+// fromScenario generates a paper workload, runs it under the incumbent
+// policy and snapshots it at the requested instant.
+func fromScenario(name string, seed int64, policy string, at float64) (*platform.Platform, []*platform.App, *sim.Snapshot, error) {
+	kinds := map[string]workload.Fig6Kind{
+		"fig6a": workload.Fig6A, "fig6b": workload.Fig6B, "fig6c": workload.Fig6C,
+	}
+	kind, ok := kinds[name]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("unknown scenario %q (want fig6a, fig6b or fig6c)", name)
+	}
+	wcfg := workload.Fig6Config(kind, seed)
+	apps, err := workload.Generate(wcfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sched, err := core.ByName(policy)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	p := wcfg.Platform.WithoutBB()
+	cfg := sim.Config{Platform: p, Scheduler: sched, Apps: apps}
+	if at <= 0 {
+		full, err := sim.Run(cfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		at = 0.4 * full.Summary.Makespan
+	}
+	snap, err := sim.RunToSnapshot(cfg, at)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return p, apps, snap, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iotwin:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Package examples holds runnable example programs. This smoke test is
+// the only test here: every example must build and execute its default
+// input to completion — examples that only ever compile rot silently
+// (a renamed API keeps building through the facade until an example's
+// logic path breaks at run time).
+package examples
+
+import (
+	"context"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// examplePrograms lists every example directory; keep in sync with the
+// subdirectories (the test fails on a stale entry, and TestAllListed
+// fails on a missing one).
+var examplePrograms = []string{
+	"quickstart",
+	"periodic",
+	"checkpoint",
+	"congestion",
+	"vesta",
+	"distributed",
+}
+
+// TestExamplesRun builds and executes each example with its built-in
+// default input and requires exit status 0 and some stdout. The slowest
+// examples (vesta, distributed) run in under a second; the overall
+// budget is generous for loaded CI runners.
+func TestExamplesRun(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	if runtime.GOOS == "js" || runtime.GOOS == "wasip1" {
+		t.Skip("cannot exec subprocesses on this platform")
+	}
+	binDir := t.TempDir()
+	for _, name := range examplePrograms {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(binDir, name)
+			build := exec.Command("go", "build", "-o", bin, "./"+name)
+			build.Dir = "."
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build ./%s: %v\n%s", name, err, out)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			run := exec.CommandContext(ctx, bin)
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s exited with error: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("%s produced no output", name)
+			}
+		})
+	}
+}
+
+// TestAllListed keeps examplePrograms in sync with the directory: a new
+// example that is not in the list would silently skip the smoke test.
+func TestAllListed(t *testing.T) {
+	listed := map[string]bool{}
+	for _, name := range examplePrograms {
+		listed[name] = true
+	}
+	dirs, err := filepath.Glob("*/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, main := range dirs {
+		dir := filepath.Dir(main)
+		if !listed[dir] {
+			t.Errorf("examples/%s has a main.go but is not in examplePrograms", dir)
+		}
+	}
+	if len(dirs) != len(examplePrograms) {
+		t.Errorf("%d example dirs, %d listed", len(dirs), len(examplePrograms))
+	}
+}

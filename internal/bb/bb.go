@@ -113,3 +113,24 @@ func (m *Model) Advance(dt, inflow float64) {
 func (m *Model) Reset() {
 	m.level, m.peak, m.fullTime = 0, 0, 0
 }
+
+// Restore installs a previously captured state (level, peak, cumulative
+// full time), clamping the level into [0, Capacity]. It is the warm-start
+// hook for simulation snapshots: a model restored from (Level, Peak,
+// FullTime) continues bit-identically to one that integrated its way
+// there.
+func (m *Model) Restore(level, peak, fullTime float64) {
+	if level < 0 {
+		level = 0
+	}
+	if level > m.Capacity {
+		level = m.Capacity
+	}
+	if peak < level {
+		peak = level
+	}
+	if fullTime < 0 {
+		fullTime = 0
+	}
+	m.level, m.peak, m.fullTime = level, peak, fullTime
+}

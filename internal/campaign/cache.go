@@ -28,6 +28,11 @@ type CellResult struct {
 	Decisions int `json:"decisions"`
 	Skipped   int `json:"skipped,omitempty"`
 
+	// BBPeakLevel/BBFullTime carry the burst-buffer pressure statistics
+	// of sim.Result (zero for cells without a burst buffer).
+	BBPeakLevel float64 `json:"bb_peak_gib,omitempty"`
+	BBFullTime  float64 `json:"bb_full_s,omitempty"`
+
 	Summary metrics.Summary `json:"summary"`
 }
 

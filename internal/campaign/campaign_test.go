@@ -158,6 +158,30 @@ func TestCellKeySensitivity(t *testing.T) {
 	if cells[0].Key != baseCells[0].Key {
 		t.Error("workload label participates in the content hash")
 	}
+
+	// The engine version participates in every key: bumping it (as the
+	// iosched-sim/4 burst-buffer-stats change did) must invalidate every
+	// cached cell, and the current tag must be the v4 one this tree's
+	// CellResult schema requires.
+	if engineVersion != "iosched-sim/4" {
+		t.Errorf("engineVersion = %q, want iosched-sim/4 (BB stats in CellResult)", engineVersion)
+	}
+	p, err := base.Platforms[0].resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg, err := base.Workloads[0].config(p.WithoutBB(), base.Seeds.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := cellKeyForEngine(engineVersion, p.WithoutBB(), base.Schedulers[0], wcfg, base.Seeds.Start, base.Sim)
+	old := cellKeyForEngine("iosched-sim/3", p.WithoutBB(), base.Schedulers[0], wcfg, base.Seeds.Start, base.Sim)
+	if cur == old {
+		t.Error("engine version does not participate in the cell key")
+	}
+	if cur != baseCells[0].Key {
+		t.Error("cellKeyForEngine(engineVersion, ...) disagrees with Expand's key")
+	}
 }
 
 func TestCacheRoundTrip(t *testing.T) {
@@ -274,6 +298,54 @@ func TestRunnerCachesCells(t *testing.T) {
 	states, err := cache.States()
 	if err != nil || len(states) != 1 {
 		t.Errorf("States() = %v, %v", states, err)
+	}
+}
+
+// TestCellResultRecordsBBStats pins the iosched-sim/4 schema change: a
+// burst-buffer cell's CellResult must carry the pressure statistics the
+// simulator reports, and they must survive the cache round trip.
+func TestCellResultRecordsBBStats(t *testing.T) {
+	spec := testSpec()
+	spec.Name = "bb-sweep"
+	spec.Platforms = spec.Platforms[:1] // intrepid has a burst buffer
+	spec.Schedulers = []string{"fair-share"}
+	spec.Seeds = SeedRange{Start: 42, Count: 1}
+	spec.Sim.UseBB = true
+
+	dir := t.TempDir()
+	cache, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := (&Runner{Spec: spec, Cache: cache}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0.0
+	for _, c := range res.Cells {
+		if c.BBPeakLevel < 0 || c.BBFullTime < 0 {
+			t.Errorf("cell %s has negative BB stats %g/%g", c.Key, c.BBPeakLevel, c.BBFullTime)
+		}
+		if c.BBPeakLevel > peak {
+			peak = c.BBPeakLevel
+		}
+	}
+	if peak == 0 {
+		t.Error("no burst-buffer cell recorded a nonzero peak level")
+	}
+
+	// Warm replay serves the same stats from the cache.
+	warm, stats, err := (&Runner{Spec: spec, Cache: cache}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Simulated != 0 {
+		t.Fatalf("warm run simulated %d cells", stats.Simulated)
+	}
+	for i, c := range warm.Cells {
+		if c.BBPeakLevel != res.Cells[i].BBPeakLevel || c.BBFullTime != res.Cells[i].BBFullTime {
+			t.Errorf("cell %d BB stats changed across cache replay", i)
+		}
 	}
 }
 

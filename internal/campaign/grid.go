@@ -11,16 +11,20 @@ import (
 )
 
 // engineVersion participates in every cell hash. Bump it whenever the
-// simulator or the workload generator changes semantics, so stale cache
-// entries are never reused. v2: the event-kernel engine reports skipped
-// decision points separately, so Decisions counts actual scheduler
-// invocations. v3: applying a decision that changes discrete view state
-// (a first grant flipping Started, a preemption) now invalidates the
-// decision memo, so Priority-* grants re-sort where v2 wrongly reused
-// them and the Decisions/Skipped split shifted; per-app metrics match
-// the pre-refactor engine (v1) everywhere, which v2 did not guarantee
-// for Priority heuristics.
-const engineVersion = "iosched-sim/3"
+// simulator or the workload generator changes semantics — or the
+// CellResult schema grows fields older entries cannot supply — so stale
+// cache entries are never reused. v2: the event-kernel engine reports
+// skipped decision points separately, so Decisions counts actual
+// scheduler invocations. v3: applying a decision that changes discrete
+// view state (a first grant flipping Started, a preemption) now
+// invalidates the decision memo, so Priority-* grants re-sort where v2
+// wrongly reused them and the Decisions/Skipped split shifted; per-app
+// metrics match the pre-refactor engine (v1) everywhere, which v2 did
+// not guarantee for Priority heuristics. v4: CellResult records the
+// burst-buffer statistics (BBPeakLevel, BBFullTime) that sim.Result
+// always produced but the sweep layer dropped; v3 entries would replay
+// burst-buffer cells with silently zero pressure stats.
+const engineVersion = "iosched-sim/4"
 
 // Cell is one point of the campaign grid: a fully resolved simulation to
 // run.
@@ -93,10 +97,18 @@ type fpWorkload struct {
 	Fill          float64 `json:"fill"`
 }
 
-// cellKey hashes the resolved cell content.
+// cellKey hashes the resolved cell content under the current engine
+// version.
 func cellKey(p *platform.Platform, scheduler string, wcfg workload.Config, seed int64, sim SimOptions) string {
+	return cellKeyForEngine(engineVersion, p, scheduler, wcfg, seed, sim)
+}
+
+// cellKeyForEngine hashes the resolved cell content for a given engine
+// tag; the split exists so the cache-invalidation test can prove the
+// engine version participates in the hash.
+func cellKeyForEngine(engine string, p *platform.Platform, scheduler string, wcfg workload.Config, seed int64, sim SimOptions) string {
 	fp := fingerprint{
-		Engine:    engineVersion,
+		Engine:    engine,
 		Platform:  fpPlatform{Nodes: p.Nodes, NodeBW: p.NodeBW, TotalBW: p.TotalBW},
 		Scheduler: scheduler,
 		Workload: fpWorkload{

@@ -104,6 +104,15 @@ func (e *Engine) After(d float64, fn func()) Handle {
 	return e.At(e.now+d, fn)
 }
 
+// Timer creates an unscheduled event for fn and returns its handle: the
+// timer is not pending until armed with Reschedule. It is the constructor
+// for restore paths that rebuild a simulation whose applications may have
+// no deadline right now but will re-arm their timer later — the handle
+// behaves exactly like one whose event has already fired.
+func (e *Engine) Timer(fn func()) Handle {
+	return Handle{ev: &event{fn: fn, index: -1}}
+}
+
 // Cancel removes the event from the queue. Cancelling an already-fired or
 // already-cancelled event is a no-op. It reports whether the event was
 // actually removed.

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/twin"
+	"repro/internal/workload"
+)
+
+// The twin experiments evaluate the digital-twin layer (internal/twin)
+// on the paper's Figure 6a mix: how accurate its horizon-limited
+// forecasts are against the realized execution, and how much an
+// advisor-switched run gains over each static policy. Neither reproduces
+// a paper artifact — they are the evaluation of this repository's
+// forecasting subsystem, registered alongside the paper figures so
+// iosim runs and archives them the same way.
+
+func init() {
+	register(Experiment{
+		ID:    "twin-accuracy",
+		Title: "Digital twin: forecast accuracy (predicted vs. realized stretch)",
+		Paper: "twin",
+		Run:   runTwinAccuracy,
+	})
+	register(Experiment{
+		ID:    "twin-advisor",
+		Title: "Digital twin: advisor-switching benefit vs. static policies",
+		Paper: "twin",
+		Run:   runTwinAdvisor,
+	})
+}
+
+// twinSeeds returns the replicate seeds for the twin experiments (small:
+// each seed runs full simulations per policy).
+func (c Config) twinSeeds() []int64 {
+	n := 5
+	if c.Quick {
+		n = 2
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = c.Seed + int64(i)
+	}
+	return out
+}
+
+var twinPolicies = []string{"MaxSysEff", "MinDilation", "RoundRobin", "fair-share"}
+
+// runTwinAccuracy snapshots a fig6a run at half its makespan and
+// compares the twin's forecast against the realized outcome, per policy:
+// once with an unbounded horizon (the forecast must be exact — the
+// simulator is deterministic) and once with a quarter-makespan horizon
+// (the forecast estimates the cut-off tail).
+func runTwinAccuracy(cfg Config) (*Document, error) {
+	doc := &Document{ID: "twin-accuracy",
+		Title: "Forecast accuracy on fig6a: |predicted − realized| per-app stretch"}
+	exact := &report.Table{
+		Title:   "unbounded horizon (must be exact)",
+		Columns: []string{"meanAbsErr", "maxAbsErr", "doneShare"},
+	}
+	bounded := &report.Table{
+		Title:   "quarter-makespan horizon (estimates the tail)",
+		Columns: []string{"meanAbsErr", "maxAbsErr", "doneShare", "predMax", "realMax"},
+	}
+	doc.Tables = append(doc.Tables, exact, bounded)
+
+	type agg struct{ mean, max, done, pred, real float64 }
+	sums := map[string]map[string]*agg{"exact": {}, "bounded": {}}
+	seeds := cfg.twinSeeds()
+	for _, seed := range seeds {
+		wcfg := workload.Fig6Config(workload.Fig6A, seed)
+		apps, err := workload.Generate(wcfg)
+		if err != nil {
+			return nil, err
+		}
+		base := sim.Config{Platform: wcfg.Platform.WithoutBB(), Apps: apps}
+		// The horizon is sized per seed off one reference run.
+		ref, err := sim.Run(sim.Config{Platform: base.Platform, Scheduler: core.MaxSysEff(), Apps: apps})
+		if err != nil {
+			return nil, err
+		}
+		for kind, horizon := range map[string]float64{"exact": 0, "bounded": ref.Summary.Makespan / 4} {
+			accs, err := twin.ForecastAccuracy(base, twinPolicies, 0.5, horizon, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			for _, acc := range accs {
+				if kind == "exact" && (acc.MeanAbsErr != 0 || acc.DoneShare != 1) {
+					return nil, fmt.Errorf("twin-accuracy: %s seed %d: unbounded forecast not exact (MAE %g)",
+						acc.Policy, seed, acc.MeanAbsErr)
+				}
+				a := sums[kind][acc.Policy]
+				if a == nil {
+					a = &agg{}
+					sums[kind][acc.Policy] = a
+				}
+				a.mean += acc.MeanAbsErr
+				a.max += acc.MaxAbsErr
+				a.done += acc.DoneShare
+				a.pred += acc.PredictedMax
+				a.real += acc.RealizedMax
+			}
+		}
+	}
+	n := float64(len(seeds))
+	for _, pol := range twinPolicies {
+		e, b := sums["exact"][pol], sums["bounded"][pol]
+		exact.AddRow(pol, e.mean/n, e.max/n, e.done/n)
+		bounded.AddRow(pol, b.mean/n, b.max/n, b.done/n, b.pred/n, b.real/n)
+	}
+	return doc, nil
+}
+
+// runTwinAdvisor compares advisor-controlled execution against every
+// static policy on identical fig6a mixes. The advised run deliberately
+// starts from exclusive-fcfs — the worst policy in the panel — so the
+// benefit measured is the advisor's ability to escape a bad
+// configuration, the operational scenario the loop exists for.
+func runTwinAdvisor(cfg Config) (*Document, error) {
+	doc := &Document{ID: "twin-advisor",
+		Title: "Advisor-switching benefit on fig6a (start: exclusive-fcfs)"}
+	table := &report.Table{
+		Columns: []string{"Dilation", "SysEff%", "switches"},
+	}
+	doc.Tables = append(doc.Tables, table)
+
+	panel := append([]string{"exclusive-fcfs"}, twinPolicies...)
+	seeds := cfg.twinSeeds()
+	dil := map[string]float64{}
+	eff := map[string]float64{}
+	var advDil, advEff, advSwitches float64
+	for _, seed := range seeds {
+		wcfg := workload.Fig6Config(workload.Fig6A, seed)
+		apps, err := workload.Generate(wcfg)
+		if err != nil {
+			return nil, err
+		}
+		base := sim.Config{Platform: wcfg.Platform.WithoutBB(), Apps: apps}
+		var refSpan float64
+		for _, name := range panel {
+			sched, err := core.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			run := base
+			run.Scheduler = sched
+			res, err := sim.Run(run)
+			if err != nil {
+				return nil, fmt.Errorf("twin-advisor: %s seed %d: %w", name, seed, err)
+			}
+			dil[name] += res.Summary.Dilation
+			eff[name] += res.Summary.SysEfficiency
+			if name == "exclusive-fcfs" {
+				refSpan = res.Summary.Makespan
+			}
+		}
+		start, err := core.ByName("exclusive-fcfs")
+		if err != nil {
+			return nil, err
+		}
+		run := base
+		run.Scheduler = start
+		advised, err := twin.AdvisedRun(twin.AdvisedConfig{
+			Sim:     run,
+			Panel:   panel,
+			Period:  refSpan / 20,
+			Advisor: twin.AdvisorConfig{Margin: 0.02, Patience: 2},
+			Workers: cfg.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("twin-advisor: advised run seed %d: %w", seed, err)
+		}
+		advDil += advised.Result.Summary.Dilation
+		advEff += advised.Result.Summary.SysEfficiency
+		advSwitches += float64(len(advised.Switches))
+	}
+	n := float64(len(seeds))
+	for _, name := range panel {
+		table.AddRow("static "+name, dil[name]/n, eff[name]/n, 0)
+	}
+	table.AddRow("advised (from exclusive-fcfs)", advDil/n, advEff/n, advSwitches/n)
+	return doc, nil
+}

@@ -45,6 +45,15 @@ const dialTimeout = 10 * time.Second
 // acknowledged the hello with a welcome, so a rejection — a duplicate app
 // ID, a malformed hello — surfaces here instead of later through Err.
 func Dial(addr string, appID, nodes int) (*Client, error) {
+	return DialWithProfile(addr, appID, nodes, nil)
+}
+
+// DialWithProfile registers the application together with its phase
+// profile (the planned compute/I-O instances). The profile does not
+// change scheduling; it makes the application's remaining work visible to
+// the daemon's digital twin (Server.Snapshot, internal/twin), which
+// cannot otherwise forecast past the current transfer.
+func DialWithProfile(addr string, appID, nodes int, profile []PhaseSpec) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -55,7 +64,7 @@ func Dial(addr string, appID, nodes int) (*Client, error) {
 		done:   make(chan struct{}),
 		hello:  make(chan error, 1),
 	}
-	if err := c.send(&Message{Type: TypeHello, AppID: appID, Nodes: nodes}); err != nil {
+	if err := c.send(&Message{Type: TypeHello, AppID: appID, Nodes: nodes, Profile: profile}); err != nil {
 		conn.Close()
 		return nil, err
 	}

@@ -47,14 +47,27 @@ const (
 	TypeError = "error"
 )
 
+// PhaseSpec is one announced compute-then-I/O instance: WorkS seconds of
+// computation followed by a transfer of VolumeGiB. A hello carrying a
+// profile makes the application's remaining work reconstructible, which
+// is what lets the digital twin (internal/twin) fast-forward a live
+// daemon snapshot through the simulator.
+type PhaseSpec struct {
+	WorkS     float64 `json:"work_s"`
+	VolumeGiB float64 `json:"volume_gib"`
+}
+
 // Message is the single frame type used in both directions; unused fields
 // are omitted on the wire.
 type Message struct {
 	Type  string `json:"type"`
 	AppID int    `json:"app_id,omitempty"`
 
-	// Hello fields.
-	Nodes int `json:"nodes,omitempty"`
+	// Hello fields. Profile optionally announces the application's
+	// compute/I-O phase plan for forecasting; the daemon schedules
+	// identically with or without it.
+	Nodes   int         `json:"nodes,omitempty"`
+	Profile []PhaseSpec `json:"profile,omitempty"`
 
 	// Request/progress fields.
 	Volume    float64 `json:"volume_gib,omitempty"`
@@ -80,6 +93,15 @@ func (m *Message) Validate() error {
 	case TypeHello:
 		if m.Nodes <= 0 {
 			return fmt.Errorf("server: hello with nodes = %d", m.Nodes)
+		}
+		for i, ph := range m.Profile {
+			if ph.WorkS < 0 || ph.VolumeGiB < 0 {
+				return fmt.Errorf("server: hello profile phase %d is negative (work %g, volume %g)",
+					i, ph.WorkS, ph.VolumeGiB)
+			}
+			if ph.WorkS == 0 && ph.VolumeGiB == 0 {
+				return fmt.Errorf("server: hello profile phase %d is empty", i)
+			}
 		}
 	case TypeRequest:
 		if m.Volume <= 0 {

@@ -99,6 +99,12 @@ type Server struct {
 	decisions uint64
 	skipped   uint64
 	pushes    uint64
+
+	// Advisor bookkeeping (see NoteForecast and SetPolicy).
+	forecasts    uint64
+	switches     uint64
+	lastForecast float64
+	hasForecast  bool
 }
 
 // session is one connected application.
@@ -107,6 +113,13 @@ type session struct {
 	view core.AppView
 	bw   float64 // last decided grant
 	cand bool    // membership in Server.candidates
+
+	// profile is the phase plan announced in the hello (may be empty);
+	// instance counts the I/O phases completed so far, so profile[instance]
+	// is the current phase. Together they make the session's remaining
+	// work reconstructible for the digital twin (see Server.Snapshot).
+	profile  []PhaseSpec
+	instance int
 
 	// pushedBW is the last grant value enqueued to this session;
 	// pushedValid is false until the first push after a request (or
@@ -311,21 +324,35 @@ type Metrics struct {
 	GrantPushes uint64 `json:"grant_pushes"`
 	// UptimeSeconds is the server's age on its own clock.
 	UptimeSeconds float64 `json:"uptime_s"`
+	// ForecastsRun counts advisor forecasts recorded via NoteForecast;
+	// PolicySwitches counts runtime policy changes applied via SetPolicy.
+	ForecastsRun   uint64 `json:"forecasts_run"`
+	PolicySwitches uint64 `json:"policy_switches"`
+	// LastForecastAgeS is the age of the most recent forecast on the
+	// server's clock, or -1 when none has run yet.
+	LastForecastAgeS float64 `json:"last_forecast_age_s"`
 }
 
 // Metrics returns a consistent snapshot of the operational counters.
 func (s *Server) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	age := -1.0
+	if s.hasForecast {
+		age = s.now() - s.lastForecast
+	}
 	return Metrics{
-		Policy:        s.cfg.Policy.Name(),
-		Sessions:      len(s.sessions),
-		Candidates:    len(s.candidates),
-		Rounds:        s.rounds,
-		Decisions:     s.decisions,
-		Skipped:       s.skipped,
-		GrantPushes:   s.pushes,
-		UptimeSeconds: s.now(),
+		Policy:           s.cfg.Policy.Name(),
+		Sessions:         len(s.sessions),
+		Candidates:       len(s.candidates),
+		Rounds:           s.rounds,
+		Decisions:        s.decisions,
+		Skipped:          s.skipped,
+		GrantPushes:      s.pushes,
+		UptimeSeconds:    s.now(),
+		ForecastsRun:     s.forecasts,
+		PolicySwitches:   s.switches,
+		LastForecastAgeS: age,
 	}
 }
 
@@ -425,6 +452,7 @@ func (s *Server) register(conn net.Conn, msg *Message) (*session, error) {
 			Phase:   core.Computing,
 			Release: 0, // set under the lock below
 		},
+		profile: append([]PhaseSpec(nil), msg.Profile...),
 		outDone: make(chan struct{}),
 	}
 	sess.outCond = sync.NewCond(&sess.outMu)
@@ -538,6 +566,11 @@ func (s *Server) dispatch(sess *session, msg *Message) error {
 // completeLocked finishes the session's current I/O phase. Callers hold
 // s.mu.
 func (s *Server) completeLocked(sess *session) {
+	if sess.view.Phase == core.Pending || sess.view.Phase == core.Transferring {
+		// One completed I/O phase ends one instance; a spurious complete
+		// while computing must not advance the profile cursor.
+		sess.instance++
+	}
 	sess.view.Phase = core.Computing
 	sess.view.RemVolume = 0
 	sess.view.Started = false

@@ -130,17 +130,26 @@ const (
 	volEps  = 1e-9 // remaining volume below this counts as done
 )
 
+// validateConfig checks the parts of a Config shared by every entry point
+// (fresh runs and snapshot resumes alike).
+func validateConfig(cfg Config) error {
+	if err := platform.ValidateApps(cfg.Platform, cfg.Apps); err != nil {
+		return err
+	}
+	if cfg.Scheduler == nil {
+		return errors.New("sim: nil scheduler")
+	}
+	if cfg.UseBB && cfg.Platform.BurstBuffer == nil {
+		return fmt.Errorf("sim: UseBB set but platform %q has no burst buffer", cfg.Platform.Name)
+	}
+	return nil
+}
+
 // Run executes the simulation and returns per-application performance and
 // the run summary.
 func Run(cfg Config) (*Result, error) {
-	if err := platform.ValidateApps(cfg.Platform, cfg.Apps); err != nil {
+	if err := validateConfig(cfg); err != nil {
 		return nil, err
-	}
-	if cfg.Scheduler == nil {
-		return nil, errors.New("sim: nil scheduler")
-	}
-	if cfg.UseBB && cfg.Platform.BurstBuffer == nil {
-		return nil, fmt.Errorf("sim: UseBB set but platform %q has no burst buffer", cfg.Platform.Name)
 	}
 	s := newSimulation(cfg)
 	return s.run()
@@ -208,8 +217,6 @@ type simulation struct {
 func newSimulation(cfg Config) *simulation {
 	s := &simulation{cfg: cfg, p: cfg.Platform}
 	s.byID = make(map[int]*appState, len(cfg.Apps))
-	var horizon float64
-	maxRelease := 0.0
 	for i, a := range cfg.Apps {
 		st := &appState{
 			app:   a,
@@ -227,38 +234,76 @@ func newSimulation(cfg Config) *simulation {
 		st.timer = s.eng.At(a.Release, func() { s.due = append(s.due, st) })
 		s.apps = append(s.apps, st)
 		s.byID[a.ID] = st
+	}
+	s.unfinished = len(s.apps)
+	s.finishSetup()
+	return s
+}
+
+// DefaultMaxTime returns the time horizon a run of cfg aborts at when
+// Config.MaxTime is zero: even full serialization of all I/O cannot
+// exceed the summed dedicated times plus request latencies, scaled
+// generously. Exported so layers that bound their own loops by the
+// simulator's horizon (the twin's advised run) use the same formula.
+func DefaultMaxTime(cfg Config) float64 {
+	if cfg.MaxTime != 0 {
+		return cfg.MaxTime
+	}
+	var horizon, maxRelease float64
+	for _, a := range cfg.Apps {
 		horizon += a.DedicatedTime(cfg.Platform)
 		if a.Release > maxRelease {
 			maxRelease = a.Release
 		}
 	}
-	s.unfinished = len(s.apps)
+	return maxRelease + 20*horizon + 1e4
+}
+
+// finishSetup resolves the config-derived fields shared by the fresh and
+// the snapshot-restore constructors: scheduler capabilities, the time
+// horizon and the burst-buffer model.
+func (s *simulation) finishSetup() {
+	cfg := s.cfg
 	s.caps = core.CapsOf(cfg.Scheduler)
-	s.maxTime = cfg.MaxTime
-	if s.maxTime == 0 {
-		// Even full serialization of all I/O cannot exceed the summed
-		// dedicated times plus request latencies; scale generously.
-		s.maxTime = maxRelease + 20*horizon + 1e4
-	}
+	s.maxTime = DefaultMaxTime(cfg)
 	if cfg.UseBB {
 		buf := cfg.Platform.BurstBuffer
 		s.buffer = bb.New(buf.Capacity, buf.IngestBW, cfg.Platform.TotalBW)
 	}
-	return s
 }
 
 func (s *simulation) run() (*Result, error) {
 	s.fireDue() // releases due at t = 0
 	s.decide()
+	if _, err := s.loop(math.Inf(1)); err != nil {
+		return nil, err
+	}
+	return s.collect(), nil
+}
+
+// loop processes events until the workload finishes or the next event
+// would fire strictly after stopAt; it reports whether the workload
+// finished. Stopping leaves the simulation exactly at the last processed
+// event instant — the state a Snapshot captures — so a resumed loop
+// replays the remaining events with bit-identical floating point: no
+// partial advanceTo integration step is ever split across the boundary.
+func (s *simulation) loop(stopAt float64) (bool, error) {
 	maxEvents := s.eventBudget()
 	for s.unfinished > 0 {
 		next := s.nextEventTime()
+		if next > stopAt {
+			// Includes a stalled system (next = +Inf) when stopAt is
+			// finite: the caller asked for the state at stopAt and gets
+			// the stall as it is; a full run (stopAt = +Inf) falls
+			// through to the deadlock diagnosis below instead.
+			return false, nil
+		}
 		if math.IsInf(next, 1) {
-			return nil, fmt.Errorf("sim: deadlock at t=%g: no future event but %d apps unfinished (%s)",
+			return false, fmt.Errorf("sim: deadlock at t=%g: no future event but %d apps unfinished (%s)",
 				s.now, s.unfinished, s.census())
 		}
 		if next > s.maxTime {
-			return nil, fmt.Errorf("sim: exceeded time horizon %g (next event %g; %s)",
+			return false, fmt.Errorf("sim: exceeded time horizon %g (next event %g; %s)",
 				s.maxTime, next, s.census())
 		}
 		s.advanceTo(next)
@@ -266,11 +311,11 @@ func (s *simulation) run() (*Result, error) {
 		s.decide()
 		s.events++
 		if s.events > maxEvents {
-			return nil, fmt.Errorf("sim: exceeded event budget %d at t=%g (%d decisions, %d skipped; %s)",
+			return false, fmt.Errorf("sim: exceeded event budget %d at t=%g (%d decisions, %d skipped; %s)",
 				maxEvents, s.now, s.decisions, s.skipped, s.census())
 		}
 	}
-	return s.collect(), nil
+	return true, nil
 }
 
 func (s *simulation) eventBudget() int {

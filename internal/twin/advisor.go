@@ -1,0 +1,178 @@
+package twin
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Objective selects what the advisor optimizes across forecasts.
+type Objective string
+
+const (
+	// MinMaxStretch prefers the policy with the lowest forecast
+	// MaxStretch — the paper's Dilation objective (default).
+	MinMaxStretch Objective = "max-stretch"
+	// MaxSysEff prefers the policy with the highest forecast
+	// SysEfficiency — the paper's platform-throughput objective.
+	MaxSysEff Objective = "sys-eff"
+)
+
+// AdvisorConfig tunes the hysteresis guard.
+type AdvisorConfig struct {
+	// Objective defaults to MinMaxStretch.
+	Objective Objective
+	// Margin is the relative improvement a challenger must forecast over
+	// the incumbent to score a point, e.g. 0.05 = 5%. Default 0.05.
+	Margin float64
+	// Patience is how many consecutive assessments the same challenger
+	// must win by Margin before a switch is recommended. Default 2.
+	// Hysteresis is what keeps the advisor from flapping between
+	// policies whose forecasts trade places with every snapshot.
+	Patience int
+}
+
+func (c AdvisorConfig) objective() Objective {
+	if c.Objective == "" {
+		return MinMaxStretch
+	}
+	return c.Objective
+}
+
+func (c AdvisorConfig) margin() float64 {
+	if c.Margin <= 0 {
+		return 0.05
+	}
+	return c.Margin
+}
+
+func (c AdvisorConfig) patience() int {
+	if c.Patience <= 0 {
+		return 2
+	}
+	return c.Patience
+}
+
+// Advisor turns forecast panels into switch recommendations with
+// hysteresis. It is a state machine, not a goroutine: callers feed it one
+// panel per advise period via Assess and apply (or ignore) the verdict.
+// Not safe for concurrent use.
+type Advisor struct {
+	cfg        AdvisorConfig
+	current    string
+	challenger string
+	streak     int
+}
+
+// NewAdvisor builds an advisor whose incumbent policy is current.
+func NewAdvisor(cfg AdvisorConfig, current string) *Advisor {
+	return &Advisor{cfg: cfg, current: current}
+}
+
+// Current returns the policy the advisor currently considers active.
+func (a *Advisor) Current() string { return a.current }
+
+// Advice is one assessment's outcome.
+type Advice struct {
+	// Current is the incumbent policy going into the assessment; Best
+	// the panel's winner under the objective this round.
+	Current string `json:"current"`
+	Best    string `json:"best"`
+	// Improvement is Best's relative gain over Current's forecast
+	// (positive = better), whatever the objective's direction.
+	Improvement float64 `json:"improvement"`
+	// Streak is the challenger's consecutive-win count after this round.
+	Streak int `json:"streak"`
+	// Switch reports that the hysteresis guard passed: the caller should
+	// move to Best (the advisor already has).
+	Switch bool `json:"switch"`
+	// Reason is a one-line human-readable account of the verdict.
+	Reason string `json:"reason"`
+}
+
+// score extracts the objective value; better is lower for MinMaxStretch
+// and higher for MaxSysEff.
+func (a *Advisor) score(f *Forecast) float64 {
+	if a.cfg.objective() == MaxSysEff {
+		return f.SysEfficiency
+	}
+	return f.MaxStretch
+}
+
+// better reports whether x beats y under the objective.
+func (a *Advisor) better(x, y float64) bool {
+	if a.cfg.objective() == MaxSysEff {
+		return x > y
+	}
+	return x < y
+}
+
+// improvement returns x's relative gain over y, oriented so positive is
+// better regardless of the objective's direction.
+func (a *Advisor) improvement(x, y float64) float64 {
+	if y == 0 {
+		return 0
+	}
+	if a.cfg.objective() == MaxSysEff {
+		return x/y - 1
+	}
+	return 1 - x/y
+}
+
+// Assess consumes one forecast panel and returns the verdict. Failed
+// forecasts (Err set) are skipped; the incumbent's forecast must be
+// present and healthy, or the advisor holds (a controller must not act
+// on a panel that cannot see its own baseline). When Switch is true the
+// advisor's incumbent becomes Best — callers that decline the switch
+// should construct a fresh Advisor instead of feeding this one further.
+func (a *Advisor) Assess(panel []Forecast) (Advice, error) {
+	if len(panel) == 0 {
+		return Advice{}, errors.New("twin: empty forecast panel")
+	}
+	var cur *Forecast
+	best := -1
+	for i := range panel {
+		f := &panel[i]
+		if f.Err != "" {
+			continue
+		}
+		if f.Policy == a.current {
+			cur = f
+		}
+		if best < 0 || a.better(a.score(f), a.score(&panel[best])) {
+			best = i
+		}
+	}
+	if cur == nil {
+		return Advice{}, fmt.Errorf("twin: panel has no healthy forecast for incumbent %q", a.current)
+	}
+	adv := Advice{Current: a.current, Best: panel[best].Policy, Streak: a.streak}
+	adv.Improvement = a.improvement(a.score(&panel[best]), a.score(cur))
+	if adv.Best == a.current || adv.Improvement < a.cfg.margin() {
+		// The incumbent holds; any challenger streak dies.
+		a.challenger, a.streak = "", 0
+		adv.Streak = 0
+		adv.Reason = fmt.Sprintf("keep %s: best %s improves %.1f%% (< %.1f%% margin)",
+			a.current, adv.Best, 100*adv.Improvement, 100*a.cfg.margin())
+		if adv.Best == a.current {
+			adv.Reason = fmt.Sprintf("keep %s: forecasts best in panel", a.current)
+		}
+		return adv, nil
+	}
+	if adv.Best == a.challenger {
+		a.streak++
+	} else {
+		a.challenger, a.streak = adv.Best, 1
+	}
+	adv.Streak = a.streak
+	if a.streak < a.cfg.patience() {
+		adv.Reason = fmt.Sprintf("hold %s: %s ahead by %.1f%% (streak %d of %d)",
+			a.current, adv.Best, 100*adv.Improvement, a.streak, a.cfg.patience())
+		return adv, nil
+	}
+	adv.Switch = true
+	adv.Reason = fmt.Sprintf("switch %s -> %s: ahead by %.1f%% for %d consecutive forecasts",
+		a.current, adv.Best, 100*adv.Improvement, a.streak)
+	a.current = adv.Best
+	a.challenger, a.streak = "", 0
+	return adv, nil
+}

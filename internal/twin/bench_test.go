@@ -1,0 +1,51 @@
+package twin
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// BenchmarkTwinForecast measures one full advise step on the Figure 6a
+// mix: warm-start the simulator from a mid-run snapshot and fan a
+// four-policy panel out over a fixed 600-second horizon. This is the
+// work the daemon performs per advise period, so it bounds how fast the
+// advisor can be run against a live system.
+func BenchmarkTwinForecast(b *testing.B) {
+	wcfg := workload.Fig6Config(workload.Fig6A, 7)
+	apps, err := workload.Generate(wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := wcfg.Platform.WithoutBB()
+	cfg := sim.Config{Platform: p, Scheduler: core.MaxSysEff(), Apps: apps}
+	full, err := sim.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := sim.RunToSnapshot(cfg, 0.4*full.Summary.Makespan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := New(Config{Platform: p, Horizon: 600, Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	panel := []string{"MaxSysEff", "Priority-MaxSysEff", "RoundRobin", "fair-share"}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fcs, err := eng.Forecast(apps, snap, panel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range fcs {
+			if f.Err != "" {
+				b.Fatal(f.Err)
+			}
+		}
+	}
+}

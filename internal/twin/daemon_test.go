@@ -1,0 +1,282 @@
+package twin
+
+import (
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// fakeClock is a settable wall clock for the daemon; the test pins every
+// message to an exact simulated instant.
+type fakeClock struct {
+	mu sync.Mutex
+	t  float64
+}
+
+func (c *fakeClock) set(sec float64) {
+	c.mu.Lock()
+	c.t = sec
+	c.mu.Unlock()
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Unix(0, 0).Add(time.Duration(c.t * float64(time.Second)))
+}
+
+// daemonEvent is one client action at an exact instant.
+type daemonEvent struct {
+	t    float64
+	app  int
+	kind string // "hello" | "request" | "complete"
+
+	vol, work, ideal float64
+}
+
+// buildDaemonScript derives the client message timeline from a simulator
+// trace: hello at release, request at each compute→I/O transition,
+// complete at each I/O→compute transition. Event times must be distinct
+// for the per-message daemon to reproduce the per-instant simulator.
+func buildDaemonScript(t *testing.T, p *platform.Platform, apps []*platform.App, tr *sim.Trace, res *sim.Result) []daemonEvent {
+	t.Helper()
+	finish := map[int]float64{}
+	for _, a := range res.Apps {
+		finish[a.ID] = a.Finish
+	}
+	var evs []daemonEvent
+	for _, a := range apps {
+		evs = append(evs, daemonEvent{t: a.Release, app: a.ID, kind: "hello"})
+		idx := 0
+		prevIO := false
+		for _, s := range tr.Segments {
+			if s.AppID != a.ID {
+				continue
+			}
+			isIO := s.Phase == core.Pending || s.Phase == core.Transferring
+			if isIO && !prevIO {
+				inst := a.Instances[idx]
+				evs = append(evs, daemonEvent{
+					t: s.Start, app: a.ID, kind: "request",
+					vol: inst.Volume, work: inst.Work, ideal: inst.Work + a.IOTime(p, idx),
+				})
+			}
+			if !isIO && prevIO {
+				evs = append(evs, daemonEvent{t: s.Start, app: a.ID, kind: "complete"})
+				idx++
+			}
+			prevIO = isIO
+		}
+		if prevIO {
+			evs = append(evs, daemonEvent{t: finish[a.ID], app: a.ID, kind: "complete"})
+			idx++
+		}
+		if idx != len(a.Instances) {
+			t.Fatalf("app %d: script covers %d of %d instances", a.ID, idx, len(a.Instances))
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].t < evs[j].t })
+	for i := 1; i < len(evs); i++ {
+		if evs[i].t == evs[i-1].t {
+			t.Fatalf("simultaneous events at t=%g; pick a scenario with distinct instants", evs[i].t)
+		}
+	}
+	return evs
+}
+
+// waitFor polls the daemon until cond holds (the clock is frozen, so
+// waiting changes nothing but message-processing progress).
+func waitFor(t *testing.T, srv *server.Server, what string, cond func(*server.SystemSnapshot) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond(srv.Snapshot()) {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatalf("daemon never reached state: %s", what)
+}
+
+// TestDaemonForecast is the acceptance pin for the observe half of the
+// loop: a live daemon (real TCP, fake clock) is driven along a
+// simulator-derived script; at a lull instant — every application
+// computing — Server.Snapshot is exported, converted via FromSystem and
+// fast-forwarded by the twin under the daemon's own policy. The
+// predicted per-application finish times must equal the simulator's
+// ground truth exactly: at a lull the reconstructed state is bit-identical,
+// and the twin inherits the simulator's determinism from there.
+func TestDaemonForecast(t *testing.T) {
+	const B, b = 8.0, 1.0
+	p := &platform.Platform{Name: "twin-eq", Nodes: 64, NodeBW: b, TotalBW: B}
+	apps := []*platform.App{
+		// 6 + 6 + 2 node-cards against B = 8: the first round congests
+		// (a2 is preempted to the leftover 2 GiB/s), then everyone
+		// computes — the lull the snapshot is taken in — before a second,
+		// staggered I/O round.
+		{ID: 1, Name: "a1", Nodes: 6, Release: 0, Instances: []platform.Instance{
+			{Work: 2, Volume: 9}, {Work: 10, Volume: 5},
+		}},
+		{ID: 2, Name: "a2", Nodes: 6, Release: 0.5, Instances: []platform.Instance{
+			{Work: 2.75, Volume: 12}, {Work: 9.4, Volume: 6},
+		}},
+		{ID: 3, Name: "a3", Nodes: 2, Release: 1.25, Instances: []platform.Instance{
+			{Work: 3.25, Volume: 2}, {Work: 8.8, Volume: 3},
+		}},
+	}
+	pol := core.MaxSysEff()
+
+	// Ground truth: the simulator's uninterrupted run.
+	tr := &sim.Trace{}
+	truth, err := sim.Run(sim.Config{Platform: p, Scheduler: pol, Apps: apps, Trace: tr, CheckGrants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := buildDaemonScript(t, p, apps, tr, truth)
+
+	// Find a lull: an instant strictly between two consecutive script
+	// events where no application is pending or transferring.
+	lull := -1.0
+	for i := 1; i < len(script); i++ {
+		mid := (script[i-1].t + script[i].t) / 2
+		computing := 0
+		for _, s := range tr.Segments {
+			if s.Start <= mid && mid < s.End {
+				if s.Phase != core.Computing {
+					computing = 0
+					break
+				}
+				computing++
+			}
+		}
+		if computing == len(apps) && script[i].t-script[i-1].t > 0.5 {
+			lull = mid
+			break
+		}
+	}
+	if lull < 0 {
+		t.Fatal("scenario has no all-computing lull; adjust the workload")
+	}
+
+	// The live daemon under an exact fake clock.
+	clock := &fakeClock{}
+	srv, err := server.New(server.Config{Policy: core.MaxSysEff(), TotalBW: B, NodeBW: b, Now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // exits on Close
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	profiles := map[int][]server.PhaseSpec{}
+	for _, a := range apps {
+		for _, inst := range a.Instances {
+			profiles[a.ID] = append(profiles[a.ID], server.PhaseSpec{WorkS: inst.Work, VolumeGiB: inst.Volume})
+		}
+	}
+	nodesOf := map[int]int{}
+	for _, a := range apps {
+		nodesOf[a.ID] = a.Nodes
+	}
+
+	clients := map[int]*server.Client{}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	var snap *server.SystemSnapshot
+	for _, ev := range script {
+		if snap == nil && ev.t > lull {
+			clock.set(lull)
+			snap = srv.Snapshot()
+		}
+		clock.set(ev.t)
+		switch ev.kind {
+		case "hello":
+			c, err := server.DialWithProfile(addr, ev.app, nodesOf[ev.app], profiles[ev.app])
+			if err != nil {
+				t.Fatalf("t=%g: dial app %d: %v", ev.t, ev.app, err)
+			}
+			clients[ev.app] = c
+		case "request":
+			if err := clients[ev.app].RequestIO(ev.vol, ev.work, ev.ideal); err != nil {
+				t.Fatalf("t=%g: request app %d: %v", ev.t, ev.app, err)
+			}
+			waitFor(t, srv, "request visible", func(s *server.SystemSnapshot) bool {
+				for _, a := range s.Apps {
+					if a.ID == ev.app {
+						return a.Phase == "pending" || a.Phase == "transferring"
+					}
+				}
+				return false
+			})
+		case "complete":
+			if err := clients[ev.app].CompleteIO(); err != nil {
+				t.Fatalf("t=%g: complete app %d: %v", ev.t, ev.app, err)
+			}
+			waitFor(t, srv, "complete visible", func(s *server.SystemSnapshot) bool {
+				for _, a := range s.Apps {
+					if a.ID == ev.app {
+						return a.Phase == "computing"
+					}
+				}
+				return false
+			})
+		}
+	}
+	if snap == nil {
+		t.Fatal("script ended before the lull")
+	}
+
+	// Convert and fast-forward under the daemon's own policy.
+	sys, err := FromSystem(snap, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Skipped) != 0 {
+		t.Fatalf("conversion skipped apps %v", sys.Skipped)
+	}
+	if len(sys.Apps) != len(apps) {
+		t.Fatalf("conversion reconstructed %d of %d apps", len(sys.Apps), len(apps))
+	}
+	eng, err := New(Config{Platform: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel, err := eng.Forecast(sys.Apps, sys.Snapshot, []string{snap.Policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := panel[0]
+	if f.Err != "" {
+		t.Fatalf("forecast: %s", f.Err)
+	}
+	if !f.Done {
+		t.Fatal("unbounded forecast not done")
+	}
+	realized := map[int]float64{}
+	for _, a := range truth.Apps {
+		realized[a.ID] = a.Finish
+	}
+	for _, af := range f.Apps {
+		if af.Finish != realized[af.ID] {
+			t.Errorf("app %d: twin predicts finish %g, simulator ground truth %g",
+				af.ID, af.Finish, realized[af.ID])
+		}
+	}
+	if f.Until != truth.Summary.Makespan {
+		t.Errorf("twin predicts makespan %g, ground truth %g", f.Until, truth.Summary.Makespan)
+	}
+}

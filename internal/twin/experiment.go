@@ -1,0 +1,241 @@
+package twin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/sim"
+)
+
+// AdvisedConfig configures an advisor-in-the-loop execution: the
+// workload runs on the simulator, and every Period seconds the twin
+// snapshots it, forecasts the panel and applies the advisor's verdict —
+// the full observe-predict-advise-actuate loop, closed over the model.
+// It measures the advisor-switching benefit against static policies on
+// identical workloads.
+type AdvisedConfig struct {
+	// Sim is the workload and platform; Sim.Scheduler is the starting
+	// policy.
+	Sim sim.Config
+	// Panel is the candidate policy set (should include the starting
+	// policy).
+	Panel []string
+	// Period is the advise interval in simulated seconds.
+	Period float64
+	// Horizon is each forecast's fast-forward window (<= 0: to
+	// completion).
+	Horizon float64
+	// Advisor tunes the hysteresis guard.
+	Advisor AdvisorConfig
+	// Workers bounds the forecast fan-out.
+	Workers int
+}
+
+// PolicySwitch records one applied switch.
+type PolicySwitch struct {
+	Time float64 `json:"time"`
+	From string  `json:"from"`
+	To   string  `json:"to"`
+}
+
+// AdvisedResult is an advisor-controlled run's outcome.
+type AdvisedResult struct {
+	// Result is the completed run (counters cover the whole execution,
+	// not the forecasts, which run on snapshot clones).
+	Result *sim.Result
+	// Forecasts counts advise rounds; Switches the applied changes.
+	Forecasts int
+	Switches  []PolicySwitch
+	// FinalPolicy is the policy active when the workload completed.
+	FinalPolicy string
+}
+
+// AdvisedRun executes the workload under advisor control and returns the
+// completed run plus the switch history. Deterministic: the same config
+// always produces the same result.
+func AdvisedRun(cfg AdvisedConfig) (*AdvisedResult, error) {
+	if cfg.Sim.Scheduler == nil {
+		return nil, errors.New("twin: AdvisedRun needs a starting policy")
+	}
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("twin: advise period %g, want > 0", cfg.Period)
+	}
+	eng, err := New(Config{
+		Platform:       cfg.Sim.Platform,
+		UseBB:          cfg.Sim.UseBB,
+		RequestLatency: cfg.Sim.RequestLatency,
+		Horizon:        cfg.Horizon,
+		Workers:        cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	current := cfg.Sim.Scheduler
+	advisor := NewAdvisor(cfg.Advisor, current.Name())
+	out := &AdvisedResult{}
+
+	simCfg := func(s core.Scheduler) sim.Config {
+		c := cfg.Sim
+		c.Scheduler = s
+		return c
+	}
+	// Bound the advise rounds by the simulator's own time horizon so a
+	// stalled system cannot loop forever.
+	maxRounds := int(sim.DefaultMaxTime(cfg.Sim)/cfg.Period) + 2
+
+	snap, err := sim.RunToSnapshot(simCfg(current), cfg.Period)
+	if err != nil {
+		return nil, err
+	}
+	for k := 1; !snap.Done(); k++ {
+		if k > maxRounds {
+			return nil, fmt.Errorf("twin: advised run stalled: %d advise rounds without completion (t=%g)",
+				k-1, snap.Time)
+		}
+		panel, err := eng.Forecast(cfg.Sim.Apps, snap, cfg.Panel)
+		if err != nil {
+			return nil, err
+		}
+		out.Forecasts++
+		advice, err := advisor.Assess(panel)
+		if err != nil {
+			return nil, err
+		}
+		if advice.Switch {
+			next, err := core.ByName(advice.Best)
+			if err != nil {
+				return nil, err
+			}
+			out.Switches = append(out.Switches, PolicySwitch{Time: snap.Time, From: current.Name(), To: next.Name()})
+			current = next
+			// The new policy re-shares at the switch instant, exactly
+			// like Server.SetPolicy runs an immediate round.
+			snap.RedecideOnResume = true
+		}
+		snap, err = sim.ResumeToSnapshot(simCfg(current), snap, float64(k+1)*cfg.Period)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := sim.Resume(simCfg(current), snap)
+	if err != nil {
+		return nil, err
+	}
+	out.Result = res
+	out.FinalPolicy = current.Name()
+	return out, nil
+}
+
+// Accuracy compares one policy's forecast against the realized outcome
+// of the same workload under the same policy: the forecast error the
+// daemon's advisor would see if the model were perfect except for the
+// horizon cutoff.
+type Accuracy struct {
+	Policy string `json:"policy"`
+	// SnapshotAt is the capture instant; Horizon the forecast window.
+	SnapshotAt float64 `json:"snapshot_at"`
+	Horizon    float64 `json:"horizon"`
+	// MeanAbsErr/MaxAbsErr aggregate |predicted − realized| per-app
+	// stretch; exact forecasts (apps finishing within the horizon)
+	// contribute zero.
+	MeanAbsErr float64 `json:"mean_abs_err"`
+	MaxAbsErr  float64 `json:"max_abs_err"`
+	// DoneShare is the fraction of applications whose forecast was exact
+	// (finished within the horizon).
+	DoneShare float64 `json:"done_share"`
+	// RealizedMax/PredictedMax compare the run-level objective.
+	RealizedMax  float64 `json:"realized_max_stretch"`
+	PredictedMax float64 `json:"predicted_max_stretch"`
+}
+
+// ForecastAccuracy measures predicted-vs-realized stretch for every
+// policy: run the workload to completion (realized), snapshot the same
+// run at atFrac of its makespan, forecast with the given horizon
+// (predicted), and compare per application. horizon <= 0 must yield zero
+// error — the forecast is then the run's own deterministic future — so
+// any nonzero error there is a model defect, not an estimate.
+func ForecastAccuracy(base sim.Config, policies []string, atFrac, horizon float64, workers int) ([]Accuracy, error) {
+	if base.Scheduler != nil {
+		return nil, errors.New("twin: ForecastAccuracy sets the scheduler per policy; leave base.Scheduler nil")
+	}
+	if atFrac < 0 || atFrac >= 1 {
+		return nil, fmt.Errorf("twin: snapshot fraction %g, want [0, 1)", atFrac)
+	}
+	return parallel.Map(len(policies), workers, func(i int) (Accuracy, error) {
+		sched, err := core.ByName(policies[i])
+		if err != nil {
+			return Accuracy{}, err
+		}
+		cfg := base
+		cfg.Scheduler = sched
+		full, err := sim.Run(cfg)
+		if err != nil {
+			return Accuracy{}, fmt.Errorf("twin: realized run under %s: %w", sched.Name(), err)
+		}
+		realized := make(map[int]float64, len(full.Apps))
+		realizedMax := 1.0
+		for _, a := range full.Apps {
+			s := 1.0
+			if a.IdealTime > 0 && a.Finish > a.Release {
+				if v := (a.Finish - a.Release) / a.IdealTime; v > 1 {
+					s = v
+				}
+			}
+			realized[a.ID] = s
+			if s > realizedMax {
+				realizedMax = s
+			}
+		}
+
+		at := atFrac * full.Summary.Makespan
+		snap, err := sim.RunToSnapshot(cfg, at)
+		if err != nil {
+			return Accuracy{}, err
+		}
+		eng, err := New(Config{
+			Platform:       base.Platform,
+			UseBB:          base.UseBB,
+			RequestLatency: base.RequestLatency,
+			Horizon:        horizon,
+			Workers:        1,
+		})
+		if err != nil {
+			return Accuracy{}, err
+		}
+		panel, err := eng.Forecast(base.Apps, snap, []string{policies[i]})
+		if err != nil {
+			return Accuracy{}, err
+		}
+		f := panel[0]
+		if f.Err != "" {
+			return Accuracy{}, fmt.Errorf("twin: forecast under %s: %s", sched.Name(), f.Err)
+		}
+
+		acc := Accuracy{
+			Policy:       f.Policy,
+			SnapshotAt:   at,
+			Horizon:      horizon,
+			RealizedMax:  realizedMax,
+			PredictedMax: f.MaxStretch,
+		}
+		done := 0
+		for _, af := range f.Apps {
+			e := math.Abs(af.Stretch - realized[af.ID])
+			acc.MeanAbsErr += e
+			if e > acc.MaxAbsErr {
+				acc.MaxAbsErr = e
+			}
+			if af.Done {
+				done++
+			}
+		}
+		if n := len(f.Apps); n > 0 {
+			acc.MeanAbsErr /= float64(n)
+			acc.DoneShare = float64(done) / float64(n)
+		}
+		return acc, nil
+	})
+}

@@ -1,0 +1,159 @@
+package twin
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// System is a daemon snapshot converted into simulator warm-start form:
+// the reconstructed application set and the matching sim.Snapshot, ready
+// for Engine.Forecast.
+type System struct {
+	Platform *platform.Platform
+	Apps     []*platform.App
+	Snapshot *sim.Snapshot
+	// Skipped lists application IDs that could not be reconstructed (no
+	// profile and no transfer in flight — nothing to predict for them).
+	Skipped []int
+}
+
+// FromSystem converts a live daemon export into simulator warm-start
+// state. p supplies the machine model; nil synthesizes one from the
+// snapshot (node count = sum of session nodes, capacities from the
+// daemon's B and b). A non-nil p must agree with the daemon's capacities.
+//
+// Sessions that announced a phase profile are reconstructed fully: the
+// current compute phase's deadline is LastIOEnd + work (the model starts
+// computing the moment the previous I/O completes), pending and
+// transferring sessions resume mid-instance at the daemon's view of the
+// remaining volume. Sessions without a profile are opaque past their
+// current transfer: one in flight becomes a single-instance application,
+// anything else is skipped (and reported in System.Skipped).
+func FromSystem(sys *server.SystemSnapshot, p *platform.Platform) (*System, error) {
+	if sys == nil {
+		return nil, errors.New("twin: nil system snapshot")
+	}
+	if p != nil {
+		if p.TotalBW != sys.TotalBW || p.NodeBW != sys.NodeBW {
+			return nil, fmt.Errorf("twin: platform %q capacities (B=%g, b=%g) disagree with daemon (B=%g, b=%g)",
+				p.Name, p.TotalBW, p.NodeBW, sys.TotalBW, sys.NodeBW)
+		}
+	} else {
+		nodes := 0
+		for i := range sys.Apps {
+			nodes += sys.Apps[i].Nodes
+		}
+		if nodes == 0 {
+			nodes = 1
+		}
+		p = &platform.Platform{Name: "daemon", Nodes: nodes, NodeBW: sys.NodeBW, TotalBW: sys.TotalBW}
+	}
+
+	out := &System{Platform: p}
+	var states []sim.AppState
+	for i := range sys.Apps {
+		sess := &sys.Apps[i]
+		app, state, ok, err := convertSession(sess, sys.Time)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			out.Skipped = append(out.Skipped, sess.ID)
+			continue
+		}
+		out.Apps = append(out.Apps, app)
+		states = append(states, state)
+	}
+	if len(out.Apps) == 0 {
+		return nil, errors.New("twin: snapshot has no forecastable applications")
+	}
+	if err := platform.ValidateApps(p, out.Apps); err != nil {
+		return nil, fmt.Errorf("twin: reconstructed workload: %w", err)
+	}
+	out.Snapshot = &sim.Snapshot{Time: sys.Time, Apps: states}
+	return out, nil
+}
+
+// convertSession rebuilds one session; ok is false for sessions with
+// nothing to predict.
+func convertSession(sess *server.SessionSnapshot, now float64) (*platform.App, sim.AppState, bool, error) {
+	inIO := sess.Phase == "pending" || sess.Phase == "transferring"
+	instances := make([]platform.Instance, 0, len(sess.Profile)+1)
+	for _, ph := range sess.Profile {
+		instances = append(instances, platform.Instance{Work: ph.WorkS, Volume: ph.VolumeGiB})
+	}
+	idx := sess.Instance
+	if idx < 0 {
+		idx = 0
+	}
+	switch {
+	case len(instances) == 0:
+		// Opaque session: forecastable only while a transfer is in
+		// flight, as a one-instance application.
+		if !inIO || sess.RemVolume <= 0 {
+			return nil, sim.AppState{}, false, nil
+		}
+		instances = append(instances, platform.Instance{Work: 0, Volume: sess.RemVolume})
+		idx = 0
+	case inIO && idx >= len(instances):
+		// The client ran past its announced plan; extend it with the
+		// observed transfer rather than rejecting the whole snapshot.
+		if sess.RemVolume <= 0 {
+			return nil, sim.AppState{}, false, nil
+		}
+		instances = append(instances, platform.Instance{Work: 0, Volume: sess.RemVolume})
+		idx = len(instances) - 1
+	}
+
+	app := &platform.App{
+		ID:        sess.ID,
+		Name:      fmt.Sprintf("app-%d", sess.ID),
+		Nodes:     sess.Nodes,
+		Release:   sess.Release,
+		Instances: instances,
+	}
+	state := sim.AppState{
+		ID:            sess.ID,
+		Instance:      idx,
+		BW:            sess.BW,
+		RemVolume:     sess.RemVolume,
+		Started:       sess.Started,
+		LastIOEnd:     sess.LastIOEnd,
+		PendingSince:  sess.PendingSince,
+		CreditedWork:  sess.CreditedWork,
+		CreditedIdeal: sess.CreditedIdeal,
+		IOStart:       sess.PendingSince, // stall onset: closest observable
+	}
+	switch sess.Phase {
+	case "computing":
+		if idx >= len(instances) {
+			// The announced plan is exhausted: the application is done.
+			state.Phase = sim.PhaseFinished
+			state.Instance = len(instances)
+			state.Finish = sess.LastIOEnd
+			state.RemVolume, state.BW = 0, 0
+			return app, state, true, nil
+		}
+		state.Phase = sim.PhaseComputing
+		state.RemVolume, state.BW = 0, 0
+		// The model computes from the instant the previous I/O ended; a
+		// deadline already in the past means the request is due
+		// immediately on resume.
+		state.Until = sess.LastIOEnd + instances[idx].Work
+		if state.Until < 0 {
+			state.Until = 0
+		}
+	case "pending", "transferring":
+		state.Phase = sim.PhaseIO
+		if sess.Phase == "pending" {
+			state.BW = 0
+		}
+	default:
+		return nil, sim.AppState{}, false, fmt.Errorf("twin: session %d has phase %q", sess.ID, sess.Phase)
+	}
+	return app, state, true, nil
+}

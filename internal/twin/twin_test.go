@@ -1,0 +1,297 @@
+package twin
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// testWorkload is a small congested fig6a mix.
+func testWorkload(t *testing.T) (sim.Config, []*platform.App) {
+	t.Helper()
+	wcfg := workload.Fig6Config(workload.Fig6A, 7)
+	apps, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Config{Platform: wcfg.Platform.WithoutBB(), Apps: apps}, apps
+}
+
+// TestForecastToCompletionIsExact pins the twin's core promise: under
+// the policy that is actually running, a forecast with an unbounded
+// horizon predicts every application's finish time exactly (the
+// simulator is deterministic and the snapshot complete).
+func TestForecastToCompletionIsExact(t *testing.T) {
+	cfg, apps := testWorkload(t)
+	for _, name := range []string{"MaxSysEff", "Priority-RoundRobin", "fair-share"} {
+		sched, err := core.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := cfg
+		run.Scheduler = sched
+		full, err := sim.Run(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := sim.RunToSnapshot(run, 0.4*full.Summary.Makespan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(Config{Platform: cfg.Platform})
+		if err != nil {
+			t.Fatal(err)
+		}
+		panel, err := eng.Forecast(apps, snap, []string{name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := panel[0]
+		if f.Err != "" {
+			t.Fatalf("%s: forecast failed: %s", name, f.Err)
+		}
+		if !f.Done || len(f.Apps) != len(full.Apps) {
+			t.Fatalf("%s: forecast done=%v apps=%d, want done over %d apps", name, f.Done, len(f.Apps), len(full.Apps))
+		}
+		realized := map[int]float64{}
+		for _, a := range full.Apps {
+			realized[a.ID] = a.Finish
+		}
+		for _, af := range f.Apps {
+			if !af.Done {
+				t.Errorf("%s: app %d not done in unbounded forecast", name, af.ID)
+			}
+			if af.Finish != realized[af.ID] {
+				t.Errorf("%s: app %d predicted finish %g, realized %g", name, af.ID, af.Finish, realized[af.ID])
+			}
+		}
+		if rel := math.Abs(f.MaxStretch-full.Summary.Dilation) / full.Summary.Dilation; rel > 1e-9 {
+			t.Errorf("%s: MaxStretch %g vs Dilation %g (rel %g)", name, f.MaxStretch, full.Summary.Dilation, rel)
+		}
+		if f.Until != full.Summary.Makespan {
+			t.Errorf("%s: forecast until %g, makespan %g", name, f.Until, full.Summary.Makespan)
+		}
+	}
+}
+
+// TestForecastPanel exercises the parallel fan-out: every policy gets a
+// forecast, horizons truncate, and unknown names fail fast.
+func TestForecastPanel(t *testing.T) {
+	cfg, apps := testWorkload(t)
+	run := cfg
+	run.Scheduler = core.MaxSysEff()
+	full, err := sim.Run(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sim.RunToSnapshot(run, 0.3*full.Summary.Makespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panelNames := []string{"MaxSysEff", "MinDilation", "RoundRobin", "fair-share", "exclusive-fcfs"}
+
+	eng, err := New(Config{Platform: cfg.Platform, Horizon: 0.1 * full.Summary.Makespan, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel, err := eng.Forecast(apps, snap, panelNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panel) != len(panelNames) {
+		t.Fatalf("panel has %d forecasts, want %d", len(panel), len(panelNames))
+	}
+	for i, f := range panel {
+		if f.Policy != panelNames[i] {
+			t.Errorf("forecast %d is %q, want %q (panel order)", i, f.Policy, panelNames[i])
+		}
+		if f.Err != "" {
+			t.Errorf("%s: %s", f.Policy, f.Err)
+			continue
+		}
+		if f.At != snap.Time {
+			t.Errorf("%s: At = %g, want %g", f.Policy, f.At, snap.Time)
+		}
+		if f.Until > snap.Time+0.1*full.Summary.Makespan+1e-9 {
+			t.Errorf("%s: horizon overrun: until %g", f.Policy, f.Until)
+		}
+		if f.MaxStretch < 1 || f.MeanStretch < 1 || f.MaxStretch < f.MeanStretch {
+			t.Errorf("%s: stretch stats %g/%g", f.Policy, f.MaxStretch, f.MeanStretch)
+		}
+	}
+
+	// Determinism: the same snapshot and panel reproduce byte-identical
+	// forecasts regardless of worker interleaving.
+	again, err := eng.Forecast(apps, snap, panelNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(panel, again) {
+		t.Error("forecast panel not deterministic")
+	}
+
+	if _, err := eng.Forecast(apps, snap, []string{"warp-drive"}); err == nil {
+		t.Error("unknown policy: want error")
+	}
+	if _, err := eng.Forecast(apps, snap, nil); err == nil {
+		t.Error("empty panel: want error")
+	}
+}
+
+func TestForecastAccuracyZeroAtUnboundedHorizon(t *testing.T) {
+	cfg, _ := testWorkload(t)
+	policies := []string{"MaxSysEff", "RoundRobin"}
+	accs, err := ForecastAccuracy(cfg, policies, 0.5, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, acc := range accs {
+		if acc.MeanAbsErr != 0 || acc.MaxAbsErr != 0 {
+			t.Errorf("%s: unbounded-horizon forecast has error %g/%g, want exact",
+				acc.Policy, acc.MeanAbsErr, acc.MaxAbsErr)
+		}
+		if acc.DoneShare != 1 {
+			t.Errorf("%s: DoneShare = %g, want 1", acc.Policy, acc.DoneShare)
+		}
+		if acc.PredictedMax != acc.RealizedMax {
+			t.Errorf("%s: predicted max %g, realized %g", acc.Policy, acc.PredictedMax, acc.RealizedMax)
+		}
+	}
+
+	// A short horizon estimates: errors are finite and DoneShare drops.
+	short, err := ForecastAccuracy(cfg, policies, 0.5, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, acc := range short {
+		if math.IsNaN(acc.MeanAbsErr) || math.IsInf(acc.MeanAbsErr, 0) || acc.MeanAbsErr < 0 {
+			t.Errorf("%s: bad MeanAbsErr %g", acc.Policy, acc.MeanAbsErr)
+		}
+		if acc.DoneShare < 0 || acc.DoneShare > 1 {
+			t.Errorf("%s: DoneShare = %g", acc.Policy, acc.DoneShare)
+		}
+	}
+}
+
+func TestAdvisorHysteresis(t *testing.T) {
+	mk := func(policy string, maxStretch float64) Forecast {
+		return Forecast{Policy: policy, MaxStretch: maxStretch, SysEfficiency: 100 / maxStretch}
+	}
+	a := NewAdvisor(AdvisorConfig{Margin: 0.05, Patience: 2}, "A")
+
+	// Round 1: B ahead by 50% — first win, no switch yet.
+	adv, err := a.Assess([]Forecast{mk("A", 3), mk("B", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Switch || adv.Best != "B" || adv.Streak != 1 {
+		t.Fatalf("round 1: %+v", adv)
+	}
+	// Round 2: B holds — patience reached, switch.
+	adv, err = a.Assess([]Forecast{mk("A", 3), mk("B", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.Switch || adv.Best != "B" || a.Current() != "B" {
+		t.Fatalf("round 2: %+v (current %s)", adv, a.Current())
+	}
+	// Round 3: incumbent B best — hold, streak resets.
+	adv, err = a.Assess([]Forecast{mk("A", 3), mk("B", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Switch || adv.Streak != 0 {
+		t.Fatalf("round 3: %+v", adv)
+	}
+
+	// An improvement below the margin never builds a streak.
+	b := NewAdvisor(AdvisorConfig{Margin: 0.10, Patience: 1}, "A")
+	adv, err = b.Assess([]Forecast{mk("A", 2), mk("B", 1.9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Switch || adv.Streak != 0 {
+		t.Fatalf("sub-margin: %+v", adv)
+	}
+
+	// A flapping challenger never accumulates patience.
+	c := NewAdvisor(AdvisorConfig{Margin: 0.05, Patience: 2}, "A")
+	if adv, _ = c.Assess([]Forecast{mk("A", 3), mk("B", 2), mk("C", 2.5)}); adv.Streak != 1 {
+		t.Fatalf("flap 1: %+v", adv)
+	}
+	if adv, _ = c.Assess([]Forecast{mk("A", 3), mk("B", 2.5), mk("C", 2)}); adv.Switch || adv.Streak != 1 {
+		t.Fatalf("flap 2: %+v", adv)
+	}
+
+	// Failed incumbent forecast holds everything.
+	d := NewAdvisor(AdvisorConfig{}, "A")
+	if _, err := d.Assess([]Forecast{{Policy: "A", Err: "boom"}, mk("B", 1)}); err == nil {
+		t.Error("unhealthy incumbent: want error")
+	}
+
+	// The sys-eff objective flips the direction.
+	e := NewAdvisor(AdvisorConfig{Objective: MaxSysEff, Margin: 0.05, Patience: 1}, "A")
+	adv, err = e.Assess([]Forecast{
+		{Policy: "A", SysEfficiency: 50}, {Policy: "B", SysEfficiency: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.Switch || adv.Best != "B" {
+		t.Fatalf("sys-eff: %+v", adv)
+	}
+}
+
+// TestAdvisedRun closes the loop on the simulator: starting from the
+// deliberately poor exclusive-fcfs policy, the advisor must switch away
+// and end no worse than the static exclusive run; the whole trajectory
+// is deterministic.
+func TestAdvisedRun(t *testing.T) {
+	cfg, _ := testWorkload(t)
+	start, err := core.ByName("exclusive-fcfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := cfg
+	static.Scheduler = start
+	staticRes, err := sim.Run(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acfg := AdvisedConfig{
+		Sim:     static,
+		Panel:   []string{"exclusive-fcfs", "MaxSysEff", "fair-share"},
+		Period:  staticRes.Summary.Makespan / 20,
+		Advisor: AdvisorConfig{Margin: 0.02, Patience: 2},
+		Workers: 2,
+	}
+	res, err := AdvisedRun(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Forecasts == 0 {
+		t.Fatal("advised run never forecast")
+	}
+	if len(res.Switches) == 0 || res.FinalPolicy == "exclusive-fcfs" {
+		t.Fatalf("advisor never escaped exclusive-fcfs: switches %v, final %s",
+			res.Switches, res.FinalPolicy)
+	}
+	if res.Result.Summary.Dilation > staticRes.Summary.Dilation {
+		t.Errorf("advised dilation %g worse than static exclusive %g",
+			res.Result.Summary.Dilation, staticRes.Summary.Dilation)
+	}
+
+	again, err := AdvisedRun(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Error("advised run not deterministic")
+	}
+}

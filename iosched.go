@@ -44,6 +44,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/twin"
 	"repro/internal/workload"
 )
 
@@ -133,6 +134,37 @@ var RenderGantt = report.RenderGantt
 
 // Simulate runs the application-level event-driven simulator.
 func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// Warm starts and the digital twin (internal/sim snapshots,
+// internal/twin forecasting).
+type (
+	// SimSnapshot is a simulation's complete state at one event instant;
+	// resuming it is bit-identical to an uninterrupted run.
+	SimSnapshot = sim.Snapshot
+	// TwinConfig configures a forecasting engine.
+	TwinConfig = twin.Config
+	// TwinEngine fast-forwards snapshots under candidate policies.
+	TwinEngine = twin.Engine
+	// TwinForecast is one policy's predicted future.
+	TwinForecast = twin.Forecast
+	// TwinAdvisor turns forecast panels into hysteresis-guarded switch
+	// recommendations.
+	TwinAdvisor = twin.Advisor
+)
+
+var (
+	// SimulateToSnapshot runs a simulation until a stop time and captures
+	// its state.
+	SimulateToSnapshot = sim.RunToSnapshot
+	// ResumeSimulation continues a snapshot to completion.
+	ResumeSimulation = sim.Resume
+	// NewTwin builds a forecasting engine.
+	NewTwin = twin.New
+	// NewTwinAdvisor builds a policy advisor.
+	NewTwinAdvisor = twin.NewAdvisor
+	// AdvisedSimulate executes a workload under advisor control.
+	AdvisedSimulate = twin.AdvisedRun
+)
 
 // Cluster emulation (Section 5).
 type (
