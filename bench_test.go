@@ -9,6 +9,7 @@ package iosched_test
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	iosched "repro"
@@ -117,6 +118,42 @@ func BenchmarkSimFig6Cell(b *testing.B) {
 	}
 	b.ReportMetric(float64(decisions), "decisions/run")
 	b.ReportMetric(float64(skipped), "skipped/run")
+}
+
+// BenchmarkFig6aTraced is the fig6a cell with the decision-trace layer
+// attached and streaming JSONL to a discarded writer — the full cost of
+// observing every decision point (candidate-view capture + JSON encode).
+// Compare against BenchmarkSimFig6Cell to price the tracing overhead;
+// the disabled-path cost is zero by construction (every capture is
+// nil-gated) and pinned by the daemon's allocation-free round test.
+func BenchmarkFig6aTraced(b *testing.B) {
+	wcfg := iosched.Fig6Workload(iosched.Fig6A, 7)
+	apps, err := iosched.GenerateWorkload(wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := iosched.MaxSysEff()
+	w := iosched.NewDecisionWriter(io.Discard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var points int
+	for i := 0; i < b.N; i++ {
+		res, err := iosched.Simulate(iosched.SimConfig{
+			Platform:      wcfg.Platform.WithoutBB(),
+			Scheduler:     sched,
+			Apps:          apps,
+			DecisionTrace: w,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = res.Decisions + res.Skipped
+	}
+	b.StopTimer()
+	if err := w.Err(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(points), "points/run")
 }
 
 func BenchmarkEmulateVestaScenario(b *testing.B) {

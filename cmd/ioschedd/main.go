@@ -25,6 +25,15 @@
 //	ioschedd -listen :9449 -machine intrepid -metrics :9450 \
 //	         -advise 30s -advise-horizon 600
 //	curl http://localhost:9450/forecast
+//
+// With -dectrace N, the daemon keeps its last N allocation decisions —
+// verdicts, skip reasons, candidate views and grants (internal/dectrace)
+// — in a ring served at /dectrace; -dectrace-file additionally streams
+// every decision to a JSONL file for offline replay (see docs/tracing.md).
+//
+//	ioschedd -listen :9449 -machine intrepid -metrics :9450 \
+//	         -dectrace 512 -dectrace-file decisions.jsonl
+//	curl http://localhost:9450/dectrace
 package main
 
 import (
@@ -39,9 +48,11 @@ import (
 	"slices"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dectrace"
 	"repro/internal/platform"
 	"repro/internal/server"
 	"repro/internal/twin"
@@ -64,6 +75,9 @@ func main() {
 		advPtnce  = flag.Int("advise-patience", 2, "consecutive winning forecasts before a switch")
 		advObj    = flag.String("advise-objective", "max-stretch", "advisor objective: max-stretch or sys-eff")
 		advApply  = flag.Bool("advise-apply", true, "apply recommended switches (false = advise only)")
+
+		dectraceN    = flag.Int("dectrace", 0, "keep the last N decision records in memory and serve them at /dectrace (0 disables)")
+		dectraceFile = flag.String("dectrace-file", "", "append every decision record to this JSONL file")
 	)
 	flag.Parse()
 
@@ -94,11 +108,43 @@ func main() {
 	if !*quiet {
 		logger = log.New(os.Stderr, "ioschedd: ", log.LstdFlags)
 	}
+	var ring *dectrace.Ring
+	var traceFile *dectrace.Writer
+	var sinks dectrace.Tee
+	if *dectraceN > 0 {
+		ring = dectrace.NewRing(*dectraceN)
+		sinks = append(sinks, ring)
+	}
+	if *dectraceFile != "" {
+		f, err := os.OpenFile(*dectraceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(fmt.Errorf("dectrace file: %w", err))
+		}
+		defer f.Close()
+		traceFile = dectrace.NewWriter(f)
+		defer func() {
+			if err := traceFile.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "ioschedd: dectrace file:", err)
+			}
+		}()
+		sinks = append(sinks, traceFile)
+	}
+	var sink dectrace.Sink
+	switch len(sinks) {
+	case 0:
+		// leave nil: the decision path stays untouched
+	case 1:
+		sink = sinks[0]
+	default:
+		sink = sinks
+	}
+
 	srv, err := server.New(server.Config{
-		Policy:  pol,
-		TotalBW: B,
-		NodeBW:  b,
-		Logger:  logger,
+		Policy:        pol,
+		TotalBW:       B,
+		NodeBW:        b,
+		Logger:        logger,
+		DecisionTrace: sink,
 	})
 	if err != nil {
 		fatal(err)
@@ -168,12 +214,23 @@ func main() {
 			}
 			return adv.lastReport()
 		})
+		serveJSON("/dectrace", func() (any, bool) {
+			if ring == nil {
+				return nil, false
+			}
+			return map[string]any{
+				"total":   ring.Total(),
+				"records": ring.Records(),
+			}, true
+		})
 		go http.Serve(mln, mux) //nolint:errcheck // exits with the process
 		fmt.Fprintf(os.Stderr, "ioschedd: metrics on http://%s/metrics (/healthz, /snapshot, /forecast)\n", mln.Addr())
 	}
 
+	// SIGTERM must take the same graceful path as ^C: the deferred
+	// trace-file flush only runs when ListenAndServe returns.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
 		fmt.Fprintln(os.Stderr, "ioschedd: shutting down")

@@ -16,6 +16,16 @@
 // horizon, burst-buffer pressure, and whether the workload completes
 // within the horizon. -json emits the raw forecasts instead; -apps adds
 // the per-application finish predictions.
+//
+// With -explain, iotwin runs the counterfactual replay engine
+// (twin.Explain over internal/dectrace) instead of a forecast: it records
+// every allocation decision from the snapshot forward under the incumbent
+// -policy, forks the run at each decision point with every -policies
+// candidate forced for that single decision, and ranks the decisions by
+// how much the best alternative would have improved the final stretch.
+//
+//	iotwin -scenario fig6a -seed 7 -policy fair-share -at 1000 \
+//	       -explain -topk 5 -max-points 24
 package main
 
 import (
@@ -48,6 +58,10 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel forecasts (default GOMAXPROCS)")
 		asJSON  = flag.Bool("json", false, "emit raw forecast JSON")
 		showApp = flag.Bool("apps", false, "include per-application predictions in the table")
+
+		explain   = flag.Bool("explain", false, "counterfactual replay: rank the costliest decisions from the snapshot forward instead of forecasting")
+		topK      = flag.Int("topk", 5, "how many costliest decisions to report (-explain)")
+		maxPoints = flag.Int("max-points", 32, "how many recorded decision points to fork (-explain)")
 	)
 	flag.Parse()
 
@@ -74,6 +88,11 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+
+	if *explain {
+		runExplain(p, apps, snap, *policy, panel, *topK, *maxPoints, *workers, *asJSON)
+		return
 	}
 
 	eng, err := twin.New(twin.Config{Platform: p, Horizon: *horizon, Workers: *workers})
@@ -111,6 +130,47 @@ func main() {
 					a.ID, a.Name, a.Nodes, a.Finish, a.Stretch, a.Done)
 			}
 		}
+	}
+}
+
+// runExplain runs the counterfactual replay engine from the snapshot
+// forward under the incumbent policy and prints the costliest decisions.
+func runExplain(p *platform.Platform, apps []*platform.App, snap *sim.Snapshot, policy string, panel []string, topK, maxPoints, workers int, asJSON bool) {
+	sched, err := core.ByName(policy)
+	if err != nil {
+		fatal(err)
+	}
+	ex, err := twin.Explain(twin.ExplainConfig{
+		Sim:       sim.Config{Platform: p, Scheduler: sched, Apps: apps},
+		From:      snap,
+		Panel:     panel,
+		TopK:      topK,
+		MaxPoints: maxPoints,
+		Workers:   workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ex); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("explain %s from t=%.1f s: %d decision points, %d forked, %d forks run\n",
+		ex.Policy, snap.Time, ex.Points, ex.Forked, ex.ForksRun)
+	fmt.Printf("base: dilation %.3f, sysEff %.2f%%\n\n", ex.BaseDilation, ex.BaseSysEff)
+	if len(ex.Costliest) == 0 {
+		fmt.Println("no forkable decisions (the policy never had a real choice)")
+		return
+	}
+	fmt.Printf("%6s %10s %-22s %-20s %10s %10s\n",
+		"seq", "t", "kind", "bestAlt", "dilDelta", "effDelta")
+	for _, imp := range ex.Costliest {
+		fmt.Printf("%6d %10.1f %-22s %-20s %+10.3f %+10.2f\n",
+			imp.Seq, imp.Time, imp.Kind, imp.BestPolicy, imp.DilationDelta, imp.SysEffDelta)
 	}
 }
 

@@ -27,6 +27,12 @@ type CellResult struct {
 	// sim.Result). Decisions+Skipped is the total decision-point count.
 	Decisions int `json:"decisions"`
 	Skipped   int `json:"skipped,omitempty"`
+	// The per-reason breakdown of Skipped (they sum to it): decision
+	// points resolved by the memoized-decision, saturating-allocation and
+	// single-full-grant fast paths respectively.
+	SkippedMemo            int `json:"skipped_memo,omitempty"`
+	SkippedSaturating      int `json:"skipped_saturating,omitempty"`
+	SkippedSingleFullGrant int `json:"skipped_single_full_grant,omitempty"`
 
 	// BBPeakLevel/BBFullTime carry the burst-buffer pressure statistics
 	// of sim.Result (zero for cells without a burst buffer).

@@ -160,11 +160,11 @@ func TestCellKeySensitivity(t *testing.T) {
 	}
 
 	// The engine version participates in every key: bumping it (as the
-	// iosched-sim/4 burst-buffer-stats change did) must invalidate every
-	// cached cell, and the current tag must be the v4 one this tree's
+	// iosched-sim/5 skip-breakdown change did) must invalidate every
+	// cached cell, and the current tag must be the v5 one this tree's
 	// CellResult schema requires.
-	if engineVersion != "iosched-sim/4" {
-		t.Errorf("engineVersion = %q, want iosched-sim/4 (BB stats in CellResult)", engineVersion)
+	if engineVersion != "iosched-sim/5" {
+		t.Errorf("engineVersion = %q, want iosched-sim/5 (skip breakdown in CellResult)", engineVersion)
 	}
 	p, err := base.Platforms[0].resolve()
 	if err != nil {
@@ -345,6 +345,51 @@ func TestCellResultRecordsBBStats(t *testing.T) {
 	for i, c := range warm.Cells {
 		if c.BBPeakLevel != res.Cells[i].BBPeakLevel || c.BBFullTime != res.Cells[i].BBFullTime {
 			t.Errorf("cell %d BB stats changed across cache replay", i)
+		}
+	}
+}
+
+// TestCellResultRecordsSkipBreakdown pins the iosched-sim/5 schema
+// change: every cell's per-reason skip counters must sum to Skipped and
+// survive the cache round trip.
+func TestCellResultRecordsSkipBreakdown(t *testing.T) {
+	spec := testSpec()
+	spec.Name = "skip-breakdown"
+
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := (&Runner{Spec: spec, Cache: cache}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	anySkipped := false
+	for _, c := range res.Cells {
+		if sum := c.SkippedMemo + c.SkippedSaturating + c.SkippedSingleFullGrant; sum != c.Skipped {
+			t.Errorf("cell %s: breakdown %d+%d+%d != skipped %d", c.Key,
+				c.SkippedMemo, c.SkippedSaturating, c.SkippedSingleFullGrant, c.Skipped)
+		}
+		if c.Skipped > 0 {
+			anySkipped = true
+		}
+	}
+	if !anySkipped {
+		t.Error("no cell skipped any decision point; the breakdown test is vacuous")
+	}
+
+	warm, stats, err := (&Runner{Spec: spec, Cache: cache}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Simulated != 0 {
+		t.Fatalf("warm run simulated %d cells", stats.Simulated)
+	}
+	for i, c := range warm.Cells {
+		fresh := res.Cells[i]
+		if c.SkippedMemo != fresh.SkippedMemo || c.SkippedSaturating != fresh.SkippedSaturating ||
+			c.SkippedSingleFullGrant != fresh.SkippedSingleFullGrant {
+			t.Errorf("cell %d skip breakdown changed across cache replay", i)
 		}
 	}
 }

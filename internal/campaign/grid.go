@@ -23,8 +23,11 @@ import (
 // not guarantee for Priority heuristics. v4: CellResult records the
 // burst-buffer statistics (BBPeakLevel, BBFullTime) that sim.Result
 // always produced but the sweep layer dropped; v3 entries would replay
-// burst-buffer cells with silently zero pressure stats.
-const engineVersion = "iosched-sim/4"
+// burst-buffer cells with silently zero pressure stats. v5: CellResult
+// carries the per-reason skip breakdown (SkippedMemo, SkippedSaturating,
+// SkippedSingleFullGrant) recorded by the decision-trace layer; v4
+// entries would replay with the breakdown silently zero.
+const engineVersion = "iosched-sim/5"
 
 // Cell is one point of the campaign grid: a fully resolved simulation to
 // run.

@@ -172,15 +172,20 @@ func (r *Runner) runCell(c *Cell, apps []*platform.App) (*CellResult, error) {
 		return nil, fmt.Errorf("campaign: %s: %w", c.Name(), err)
 	}
 	return &CellResult{
-		Key:         c.Key,
-		Platform:    c.Platform,
-		Scheduler:   c.Scheduler,
-		Workload:    c.Workload,
-		Seed:        c.Seed,
-		Apps:        len(res.Apps),
-		Events:      res.Events,
-		Decisions:   res.Decisions,
-		Skipped:     res.Skipped,
+		Key:       c.Key,
+		Platform:  c.Platform,
+		Scheduler: c.Scheduler,
+		Workload:  c.Workload,
+		Seed:      c.Seed,
+		Apps:      len(res.Apps),
+		Events:    res.Events,
+		Decisions: res.Decisions,
+		Skipped:   res.Skipped,
+
+		SkippedMemo:            res.SkippedMemo,
+		SkippedSaturating:      res.SkippedSaturating,
+		SkippedSingleFullGrant: res.SkippedSingleFullGrant,
+
 		BBPeakLevel: res.BBPeakLevel,
 		BBFullTime:  res.BBFullTime,
 		Summary:     res.Summary,

@@ -198,6 +198,45 @@ func CapsOf(s Scheduler) EngineCaps {
 	}
 }
 
+// SkipReason says how an execution engine resolved a decision point
+// without invoking the scheduler. The values mirror the capability
+// interfaces resolved by CapsOf: a skip is only legal when the policy
+// declared the matching capability, and every engine (the simulator, the
+// daemon) attributes each skipped decision point to exactly one reason.
+// SkipNone marks a decision point where the policy actually ran.
+type SkipReason uint8
+
+const (
+	// SkipNone: the scheduler was invoked (a full decision).
+	SkipNone SkipReason = iota
+	// SkipMemo: a Memoizable policy's previous decision was reused —
+	// candidate set, discrete view state and capacity all unchanged.
+	SkipMemo
+	// SkipSaturating: a Saturating policy with total demand within
+	// capacity; every candidate received its full cap β·b directly.
+	SkipSaturating
+	// SkipSingleFullGrant: a SingleFullGrant policy with one candidate;
+	// it received exactly min(β·b, B) directly.
+	SkipSingleFullGrant
+)
+
+// String returns the reason's report name ("memo", "saturating",
+// "single-full-grant"; "decide" for SkipNone). These strings are the
+// verdict vocabulary of the decision-trace layer (internal/dectrace).
+func (r SkipReason) String() string {
+	switch r {
+	case SkipNone:
+		return "decide"
+	case SkipMemo:
+		return "memo"
+	case SkipSaturating:
+		return "saturating"
+	case SkipSingleFullGrant:
+		return "single-full-grant"
+	}
+	return "unknown"
+}
+
 // IsMemoizable reports whether the scheduler declares reusable decisions.
 func IsMemoizable(s Scheduler) bool {
 	m, ok := s.(Memoizable)

@@ -1,0 +1,209 @@
+package dectrace
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func rec(seq uint64) *Record {
+	return &Record{
+		Seq:     seq,
+		Time:    float64(seq) * 1.5,
+		Kind:    "io-complete",
+		Policy:  "MaxSysEff",
+		Verdict: core.SkipNone.String(),
+		TotalBW: 24,
+		NodeBW:  0.0125,
+		Apps:    []AppRecord{{ID: 1, Nodes: 512, Phase: "pending", RemV: 10}},
+		Grants:  []GrantRecord{{ID: 1, BW: 6.4}},
+	}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRing(3)
+	if got := r.Records(); len(got) != 0 {
+		t.Fatalf("empty ring returned %d records", len(got))
+	}
+	for i := uint64(0); i < 5; i++ {
+		r.Observe(rec(i))
+	}
+	got := r.Records()
+	if len(got) != 3 {
+		t.Fatalf("ring of 3 holds %d records", len(got))
+	}
+	for i, want := range []uint64{2, 3, 4} {
+		if got[i].Seq != want {
+			t.Errorf("record %d: seq %d, want %d (oldest first)", i, got[i].Seq, want)
+		}
+	}
+	if r.Total() != 5 {
+		t.Errorf("Total = %d, want 5", r.Total())
+	}
+}
+
+func TestRingCapacityFloor(t *testing.T) {
+	r := NewRing(0) // degenerate capacity clamps to 1
+	r.Observe(rec(1))
+	r.Observe(rec(2))
+	got := r.Records()
+	if len(got) != 1 || got[0].Seq != 2 {
+		t.Fatalf("ring(0) records = %+v, want the single most recent", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var want []*Record
+	for i := uint64(0); i < 4; i++ {
+		r := rec(i)
+		if i%2 == 1 {
+			r.Verdict = core.SkipMemo.String()
+			r.Apps, r.Grants = nil, nil
+		}
+		w.Observe(r)
+		want = append(want, r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadAllBlankLinesAndPrefix(t *testing.T) {
+	input := "\n  \n" +
+		`{"seq":1,"t":0,"policy":"p","verdict":"decide"}` + "\n\n" +
+		`{"seq":2,"t":1,"policy":"p","verdict":"memo"}` + "\n" +
+		"{broken\n" +
+		`{"seq":3}` + "\n"
+	got, err := ReadAll(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("want an error for the broken line")
+	}
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("prefix = %+v, want seq 1 and 2", got)
+	}
+}
+
+func TestTee(t *testing.T) {
+	a, b := &Slice{}, NewRing(8)
+	sink := Tee{a, b}
+	sink.Observe(rec(9))
+	if len(a.Records) != 1 || len(b.Records()) != 1 {
+		t.Fatalf("tee delivered to %d/%d sinks", len(a.Records), len(b.Records()))
+	}
+	if a.Records[0].Seq != 9 {
+		t.Errorf("slice saw seq %d", a.Records[0].Seq)
+	}
+}
+
+func TestForceFirst(t *testing.T) {
+	views := []*core.AppView{
+		{ID: 1, Nodes: 100, Phase: core.Pending, RemVolume: 50},
+		{ID: 2, Nodes: 100, Phase: core.Pending, RemVolume: 50},
+	}
+	cap := core.Capacity{TotalBW: 1, NodeBW: 0.01} // congested: 2 GiB/s demand
+	alt := core.Exclusive{}
+	base := core.FairShare{}
+	s := ForceFirst(alt, base)
+	if !strings.Contains(s.Name(), alt.Name()) || !strings.Contains(s.Name(), base.Name()) {
+		t.Errorf("Name %q does not identify both policies", s.Name())
+	}
+	first := s.Allocate(0, views, cap)
+	wantFirst := alt.Allocate(0, views, cap)
+	if !reflect.DeepEqual(first, wantFirst) {
+		t.Errorf("first decision = %+v, want alternative policy's %+v", first, wantFirst)
+	}
+	second := s.Allocate(1, views, cap)
+	wantSecond := base.Allocate(1, views, cap)
+	if !reflect.DeepEqual(second, wantSecond) {
+		t.Errorf("second decision = %+v, want incumbent's %+v", second, wantSecond)
+	}
+	if core.IsMemoizable(s) || core.IsSaturating(s) || core.IsSingleFullGrant(s) {
+		t.Error("replay wrapper must not declare engine capabilities")
+	}
+}
+
+func TestFixedGrantsClampsAndFilters(t *testing.T) {
+	views := []*core.AppView{
+		{ID: 1, Nodes: 10, Phase: core.Pending, RemVolume: 5},
+		{ID: 2, Nodes: 10, Phase: core.Pending, RemVolume: 5},
+	}
+	cap := core.Capacity{TotalBW: 1.5, NodeBW: 0.1} // per-app cap 1.0
+	s := FixedGrants("", []core.Grant{
+		{AppID: 1, BW: 9},  // clamped to β·b = 1.0
+		{AppID: 99, BW: 1}, // not a candidate: dropped
+		{AppID: 2, BW: 9},  // clamped to remaining 0.5
+	})
+	got := s.Allocate(0, views, cap)
+	want := []core.Grant{{AppID: 1, BW: 1.0}, {AppID: 2, BW: 0.5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("grants = %+v, want %+v", got, want)
+	}
+	if err := core.ValidateGrants(got, views, cap); err != nil {
+		t.Fatalf("clamped grants invalid: %v", err)
+	}
+}
+
+func TestSkipReasonStrings(t *testing.T) {
+	want := map[core.SkipReason]string{
+		core.SkipNone:            "decide",
+		core.SkipMemo:            "memo",
+		core.SkipSaturating:      "saturating",
+		core.SkipSingleFullGrant: "single-full-grant",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("SkipReason(%d).String() = %q, want %q", r, r.String(), s)
+		}
+	}
+	if got := core.SkipReason(200).String(); got != "unknown" {
+		t.Errorf("out-of-range reason = %q, want unknown", got)
+	}
+}
+
+func TestCapture(t *testing.T) {
+	views := []*core.AppView{
+		{ID: 3, Nodes: 7, Phase: core.Transferring, RemVolume: 2.5, Started: true, PendingSince: 4},
+	}
+	apps := CaptureApps(nil, views)
+	if len(apps) != 1 {
+		t.Fatalf("captured %d apps", len(apps))
+	}
+	want := AppRecord{ID: 3, Nodes: 7, Phase: "transferring", RemV: 2.5, Started: true, PendingSince: 4}
+	if apps[0] != want {
+		t.Errorf("app record = %+v, want %+v", apps[0], want)
+	}
+	grants := CaptureGrants(nil, []core.Grant{{AppID: 3, BW: 1.25}})
+	if len(grants) != 1 || (grants[0] != GrantRecord{ID: 3, BW: 1.25}) {
+		t.Errorf("grant records = %+v", grants)
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(failWriter{})
+	for i := 0; i < 10000; i++ { // enough to overflow the bufio buffer
+		w.Observe(rec(uint64(i)))
+	}
+	if w.Flush() == nil {
+		t.Fatal("Flush over a failing writer returned nil")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err lost the sticky error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, fmt.Errorf("disk on fire") }

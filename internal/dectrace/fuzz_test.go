@@ -1,0 +1,40 @@
+package dectrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadAll checks the trace reader never panics and that everything
+// it accepts survives a write/read round trip unchanged in count.
+func FuzzReadAll(f *testing.F) {
+	f.Add("")
+	f.Add("\n\n")
+	f.Add(`{"seq":1,"t":0.5,"policy":"MaxSysEff","verdict":"decide"}`)
+	f.Add(`{"seq":2,"verdict":"memo"}` + "\n" + `{"seq":3,"verdict":"saturating","grants":[{"id":1,"bw_gibs":2}]}`)
+	f.Add(`{"seq":"not-a-number"}`)
+	f.Add(strings.Repeat("x", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := ReadAll(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted input must survive a write/read round trip.
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range recs {
+			w.Observe(r)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("re-encoding accepted records: %v", err)
+		}
+		again, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatalf("re-reading re-encoded records: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package dectrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Writer streams records as JSON Lines: one Record object per line, in
+// observation order. Writes are buffered; call Flush (or Close the
+// underlying file after Flush) when done. Safe for concurrent use. Write
+// errors are sticky and reported by Err/Flush — Observe itself cannot
+// fail, so an engine never stalls on a broken trace file.
+type Writer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewWriter builds a JSONL writer over w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Observe implements Sink.
+func (w *Writer) Observe(r *Record) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = w.enc.Encode(r) // Encode appends the newline
+	}
+	w.mu.Unlock()
+}
+
+// Err returns the first write or encode error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Flush drains the buffer and returns the sticky error, if any.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil {
+		w.err = w.bw.Flush()
+	}
+	return w.err
+}
+
+// maxLine bounds one record line; candidate sets are compact, so a line
+// beyond this is corruption, not data.
+const maxLine = 1 << 22
+
+// ReadAll parses a JSONL decision trace, tolerating blank lines. It
+// returns the records read so far alongside the first error, so a
+// truncated trace (a crashed daemon) still yields its prefix.
+func ReadAll(r io.Reader) ([]*Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
+	var out []*Record
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(trimSpace(b)) == 0 {
+			continue
+		}
+		rec := new(Record)
+		if err := json.Unmarshal(b, rec); err != nil {
+			return out, fmt.Errorf("dectrace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("dectrace: line %d: %w", line+1, err)
+	}
+	return out, nil
+}
+
+// trimSpace strips ASCII whitespace without allocating.
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && isSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }

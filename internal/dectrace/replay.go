@@ -1,0 +1,96 @@
+package dectrace
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The replay schedulers force an alternative verdict at exactly one
+// decision point of a resumed run: the counterfactual engine
+// (internal/twin's Explain) clones a snapshot captured at a recorded
+// decision's instant, sets RedecideOnResume, and resumes under one of
+// these wrappers — the forced round replaces the recorded verdict, and
+// every later decision falls through to the incumbent policy.
+//
+// Neither wrapper declares any engine capability (Memoizable, Saturating,
+// SingleFullGrant, Waker), so the engine invokes Allocate at every
+// decision point. By the capability contract (pinned by
+// TestSkipEquivalence) that changes nothing but speed: outcomes are
+// bit-identical to a capability-skipping run of the same policy.
+
+// forceFirst delegates the first decision to the alternative policy and
+// every later one to the incumbent. Stateful: build a fresh one per fork.
+type forceFirst struct {
+	first core.Scheduler
+	rest  core.Scheduler
+	used  bool
+}
+
+// ForceFirst returns a scheduler whose first Allocate is decided by
+// first and all later ones by rest. It is single-use: the forced round
+// is consumed by the first invocation, wherever it happens.
+func ForceFirst(first, rest core.Scheduler) core.Scheduler {
+	return &forceFirst{first: first, rest: rest}
+}
+
+func (f *forceFirst) Name() string {
+	return fmt.Sprintf("force-first[%s->%s]", f.first.Name(), f.rest.Name())
+}
+
+func (f *forceFirst) Allocate(now float64, apps []*core.AppView, cap core.Capacity) []core.Grant {
+	if !f.used {
+		f.used = true
+		return f.first.Allocate(now, apps, cap)
+	}
+	return f.rest.Allocate(now, apps, cap)
+}
+
+// fixedGrants replays one recorded (or hand-written) grant vector.
+type fixedGrants struct {
+	name   string
+	grants []core.Grant
+}
+
+// FixedGrants returns a scheduler that always answers with the given
+// grant vector, filtered to the current candidates and clamped to the
+// capacity constraints (per-app β·b and total B), so a vector recorded
+// under one state cannot make the engine's grant validation fail under
+// another. Wrap it in ForceFirst to force a specific verdict at one
+// decision point and continue under the incumbent.
+func FixedGrants(name string, grants []core.Grant) core.Scheduler {
+	if name == "" {
+		name = "fixed-grants"
+	}
+	return &fixedGrants{name: name, grants: append([]core.Grant(nil), grants...)}
+}
+
+func (f *fixedGrants) Name() string { return f.name }
+
+func (f *fixedGrants) Allocate(now float64, apps []*core.AppView, cap core.Capacity) []core.Grant {
+	byID := make(map[int]*core.AppView, len(apps))
+	for _, v := range apps {
+		byID[v.ID] = v
+	}
+	out := make([]core.Grant, 0, len(f.grants))
+	avail := cap.TotalBW
+	for _, g := range f.grants {
+		v, ok := byID[g.AppID]
+		if !ok || g.BW <= 0 {
+			continue
+		}
+		bw := g.BW
+		if max := float64(v.Nodes) * cap.NodeBW; bw > max {
+			bw = max
+		}
+		if bw > avail {
+			bw = avail
+		}
+		if bw <= 0 {
+			continue
+		}
+		out = append(out, core.Grant{AppID: g.AppID, BW: bw})
+		avail -= bw
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package dectrace
+
+import "sync"
+
+// Ring is a fixed-capacity in-memory sink keeping the most recent
+// records: the daemon's live decision history, served over HTTP at
+// /dectrace. Safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []*Record
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewRing builds a ring keeping the last n records (n >= 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]*Record, n)}
+}
+
+// Observe implements Sink.
+func (r *Ring) Observe(rec *Record) {
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many records have been observed over the ring's
+// lifetime (>= len(Records()) once the ring wrapped).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Records returns the retained records, oldest first. The returned slice
+// is fresh; the records themselves are shared and must be treated as
+// immutable.
+func (r *Ring) Records() []*Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		// Non-nil even when empty, so JSON consumers see [] rather than
+		// null.
+		return append(make([]*Record, 0, r.next), r.buf[:r.next]...)
+	}
+	out := make([]*Record, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/twin"
+	"repro/internal/workload"
+)
+
+// The explain experiment exercises the decision-trace layer
+// (internal/dectrace) and the counterfactual replay engine
+// (twin.Explain) on the paper's Figure 6a mix: record every allocation
+// decision of a run, fork the run at the recorded decision points with
+// each alternative policy forced for that single decision, and rank the
+// decisions by how much the best single-decision change would have
+// improved the final max-stretch. It is the evaluation of this
+// repository's observability subsystem, registered alongside the paper
+// figures so iosim runs and archives it the same way.
+
+func init() {
+	register(Experiment{
+		ID:    "explain",
+		Title: "Decision trace: top-k costliest allocation decisions (counterfactual replay)",
+		Paper: "dectrace",
+		Run:   runExplain,
+	})
+}
+
+var explainPolicies = []string{"fair-share", "RoundRobin", "MaxSysEff"}
+
+// runExplain records one fig6a run per incumbent policy, replays the
+// costliest decisions under the alternative panel, and reports both the
+// per-incumbent decision-point census (how many decision points the run
+// had, and how many the capability fast paths skipped per reason) and
+// the top decisions by counterfactual improvement.
+func runExplain(cfg Config) (*Document, error) {
+	doc := &Document{ID: "explain",
+		Title: "Counterfactual replay on fig6a: which decisions cost the most"}
+	census := &report.Table{
+		Title:   "decision-point census (one fig6a run per incumbent)",
+		Columns: []string{"points", "decided", "memo", "saturating", "single", "forked"},
+	}
+	top := &report.Table{
+		Title:   "costliest decisions (base dilation − best single-decision alternative)",
+		Columns: []string{"t", "verdict", "bestAlt", "baseDil", "bestDil", "delta"},
+	}
+	doc.Tables = append(doc.Tables, census, top)
+
+	maxPoints := 24
+	topK := 3
+	if cfg.Quick {
+		maxPoints = 8
+		topK = 2
+	}
+	for _, name := range explainPolicies {
+		sched, err := core.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		wcfg := workload.Fig6Config(workload.Fig6A, cfg.Seed)
+		apps, err := workload.Generate(wcfg)
+		if err != nil {
+			return nil, err
+		}
+		base := sim.Config{Platform: wcfg.Platform.WithoutBB(), Scheduler: sched, Apps: apps}
+
+		// The census comes from the run itself: per-reason skip counters.
+		res, err := sim.Run(base)
+		if err != nil {
+			return nil, fmt.Errorf("explain: base %s: %w", name, err)
+		}
+
+		ex, err := twin.Explain(twin.ExplainConfig{
+			Sim:       base,
+			Panel:     explainPolicies,
+			TopK:      topK,
+			MaxPoints: maxPoints,
+			Workers:   cfg.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("explain: %s: %w", name, err)
+		}
+		census.AddRow(name,
+			float64(res.Decisions+res.Skipped), float64(res.Decisions),
+			float64(res.SkippedMemo), float64(res.SkippedSaturating),
+			float64(res.SkippedSingleFullGrant), float64(ex.Forked))
+		for _, imp := range ex.Costliest {
+			top.AddRow(fmt.Sprintf("%s seq=%d", name, imp.Seq),
+				imp.Time, verdictCode(imp.Verdict), policyCode(imp.BestPolicy),
+				ex.BaseDilation, ex.BaseDilation-imp.DilationDelta, imp.DilationDelta)
+		}
+	}
+	return doc, nil
+}
+
+// verdictCode and policyCode map trace strings onto the numeric cells of
+// a report.Table (its rows are label + float columns).
+func verdictCode(v string) float64 {
+	switch v {
+	case "decide":
+		return 0
+	case "memo":
+		return 1
+	case "saturating":
+		return 2
+	case "single-full-grant":
+		return 3
+	}
+	return -1
+}
+
+func policyCode(name string) float64 {
+	for i, p := range explainPolicies {
+		if p == name {
+			return float64(i)
+		}
+	}
+	return -1
+}

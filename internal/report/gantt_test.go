@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderGanttEmptyTrace pins the degenerate inputs: no rows at all
+// renders just the axis, and a row with no spans renders an all-blank
+// timeline of exactly the requested width.
+func TestRenderGanttEmptyTrace(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderGantt(&sb, nil, 0, 10, 40); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("no rows rendered %d lines, want the axis alone:\n%s", len(lines), sb.String())
+	}
+	if !strings.Contains(lines[0], "0") || !strings.Contains(lines[0], "10 s") {
+		t.Errorf("axis lacks endpoints: %q", lines[0])
+	}
+
+	sb.Reset()
+	if err := RenderGantt(&sb, []GanttRow{{Label: "idle"}}, 0, 10, 40); err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("one row rendered %d lines:\n%s", len(lines), sb.String())
+	}
+	open, shut := strings.Index(lines[0], "|"), strings.LastIndex(lines[0], "|")
+	if open < 0 || shut <= open {
+		t.Fatalf("row has no timeline delimiters: %q", lines[0])
+	}
+	cells := lines[0][open+1 : shut]
+	if len(cells) != 40 {
+		t.Errorf("timeline is %d columns, want 40: %q", len(cells), cells)
+	}
+	if strings.TrimSpace(cells) != "" {
+		t.Errorf("span-less row drew glyphs: %q", cells)
+	}
+}
+
+// TestRenderGanttZeroWidthSpan pins the half-open interval semantics: a
+// span with Start == End covers no column midpoint and must draw
+// nothing, while a sibling span on the same row still renders.
+func TestRenderGanttZeroWidthSpan(t *testing.T) {
+	rows := []GanttRow{{
+		Label: "a",
+		Spans: []GanttSpan{
+			{Start: 5, End: 5, Glyph: 'Z'},
+			{Start: 0, End: 2, Glyph: '#'},
+		},
+	}}
+	var sb strings.Builder
+	if err := RenderGantt(&sb, rows, 0, 10, 50); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.ContainsRune(out, 'Z') {
+		t.Errorf("zero-width span rendered a glyph:\n%s", out)
+	}
+	if !strings.ContainsRune(out, '#') {
+		t.Errorf("non-empty span on the same row vanished:\n%s", out)
+	}
+
+	// A row holding only the zero-width span is indistinguishable from an
+	// idle row — blank timeline, no error.
+	sb.Reset()
+	only := []GanttRow{{Label: "z", Spans: []GanttSpan{{Start: 5, End: 5, Glyph: 'Z'}}}}
+	if err := RenderGantt(&sb, only, 0, 10, 50); err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsRune(sb.String(), 'Z') {
+		t.Errorf("zero-width-only row rendered a glyph:\n%s", sb.String())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dectrace"
 	"repro/internal/xsort"
 )
 
@@ -24,6 +25,11 @@ type Config struct {
 	Logger *log.Logger
 	// Now overrides the clock (tests); nil uses time.Now.
 	Now func() time.Time
+	// DecisionTrace, when non-nil, receives one dectrace.Record per
+	// decision round, built and observed under the server's state lock —
+	// the sink must be fast, concurrency-safe and must not block (see
+	// docs/tracing.md). Nil keeps the steady round allocation-free.
+	DecisionTrace dectrace.Sink
 }
 
 // Server is the global I/O scheduler daemon. Create with New, start with
@@ -99,6 +105,11 @@ type Server struct {
 	decisions uint64
 	skipped   uint64
 	pushes    uint64
+
+	// Per-reason skip breakdown; the three sum to skipped.
+	skippedMemo       uint64
+	skippedSaturating uint64
+	skippedSingle     uint64
 
 	// Advisor bookkeeping (see NoteForecast and SetPolicy).
 	forecasts    uint64
@@ -319,6 +330,12 @@ type Metrics struct {
 	Rounds    uint64 `json:"rounds"`
 	Decisions uint64 `json:"decisions"`
 	Skipped   uint64 `json:"skipped"`
+	// SkippedMemo, SkippedSaturating and SkippedSingleFullGrant break
+	// Skipped down by the capability that proved each skip sound
+	// (core.SkipReason); the three always sum to Skipped.
+	SkippedMemo            uint64 `json:"skipped_memo"`
+	SkippedSaturating      uint64 `json:"skipped_saturating"`
+	SkippedSingleFullGrant uint64 `json:"skipped_single_full_grant"`
 	// GrantPushes counts grant messages enqueued to clients (duplicate
 	// verdicts are suppressed and do not count).
 	GrantPushes uint64 `json:"grant_pushes"`
@@ -342,17 +359,20 @@ func (s *Server) Metrics() Metrics {
 		age = s.now() - s.lastForecast
 	}
 	return Metrics{
-		Policy:           s.cfg.Policy.Name(),
-		Sessions:         len(s.sessions),
-		Candidates:       len(s.candidates),
-		Rounds:           s.rounds,
-		Decisions:        s.decisions,
-		Skipped:          s.skipped,
-		GrantPushes:      s.pushes,
-		UptimeSeconds:    s.now(),
-		ForecastsRun:     s.forecasts,
-		PolicySwitches:   s.switches,
-		LastForecastAgeS: age,
+		Policy:                 s.cfg.Policy.Name(),
+		Sessions:               len(s.sessions),
+		Candidates:             len(s.candidates),
+		Rounds:                 s.rounds,
+		Decisions:              s.decisions,
+		Skipped:                s.skipped,
+		SkippedMemo:            s.skippedMemo,
+		SkippedSaturating:      s.skippedSaturating,
+		SkippedSingleFullGrant: s.skippedSingle,
+		GrantPushes:            s.pushes,
+		UptimeSeconds:          s.now(),
+		ForecastsRun:           s.forecasts,
+		PolicySwitches:         s.switches,
+		LastForecastAgeS:       age,
 	}
 }
 
@@ -472,7 +492,7 @@ func (s *Server) register(conn net.Conn, msg *Message) (*session, error) {
 	go s.writeLoop(sess)
 	sess.enqueue(Message{Type: TypeWelcome, AppID: msg.AppID})
 	s.logf("app %d joined (%d nodes)", msg.AppID, msg.Nodes)
-	s.roundLocked()
+	s.roundLocked("hello")
 	return sess, nil
 }
 
@@ -522,6 +542,7 @@ func (s *Server) dispatch(sess *session, msg *Message) error {
 		return fmt.Errorf("server: message for app %d on app %d's connection", msg.AppID, sess.view.ID)
 	}
 	s.mu.Lock()
+	kind := msg.Type
 	switch msg.Type {
 	case TypeRequest:
 		sess.view.CreditedWork += msg.Work
@@ -558,7 +579,7 @@ func (s *Server) dispatch(sess *session, msg *Message) error {
 		s.mu.Unlock()
 		return fmt.Errorf("server: unexpected %q from client", msg.Type)
 	}
-	s.roundLocked()
+	s.roundLocked(kind)
 	s.mu.Unlock()
 	return nil
 }
@@ -589,7 +610,7 @@ func (s *Server) finish(sess *session) {
 		s.logf("app %d left", sess.view.ID)
 	}
 	s.candRemoveLocked(sess)
-	s.roundLocked()
+	s.roundLocked("leave")
 	s.mu.Unlock()
 	sess.closeOutbox()
 }
@@ -640,10 +661,12 @@ type pushGrant struct {
 
 // roundLocked resolves the decision point for the current state, arms or
 // disarms the policy's wake timer and flushes the round's push batch to
-// the session outboxes. Callers hold s.mu.
-func (s *Server) roundLocked() {
+// the session outboxes. kind names what triggered the round (the client
+// message type, "hello", "leave", "wake" or "policy") for the decision
+// trace. Callers hold s.mu.
+func (s *Server) roundLocked(kind string) {
 	now := s.now()
-	s.decideLocked(now)
+	s.decideLocked(now, kind)
 	s.armWakeLocked(now)
 	s.flushLocked()
 }
@@ -652,7 +675,7 @@ func (s *Server) roundLocked() {
 // provably the previous one, apply the known uncongested outcome for
 // saturating policies, or invoke the policy. Grant pushes for sessions
 // whose bandwidth verdict changed are appended to s.batch.
-func (s *Server) decideLocked(now float64) {
+func (s *Server) decideLocked(now float64, kind string) {
 	if len(s.candidates) == 0 {
 		return
 	}
@@ -666,6 +689,12 @@ func (s *Server) decideLocked(now float64) {
 	// decision that flips view state invalidates its own memo.
 	if s.caps.Memoizable && s.decided && s.candVersion == s.decidedVersion {
 		s.skipped++
+		s.skippedMemo++
+		if s.cfg.DecisionTrace != nil {
+			// Memo skips omit apps and grants: both are the previous
+			// record's, unchanged by construction.
+			s.emitTraceLocked(core.SkipMemo, now, kind, cap, s.candVersion, nil, nil)
+		}
 		return
 	}
 
@@ -677,12 +706,22 @@ func (s *Server) decideLocked(now float64) {
 		if bw > cap.TotalBW {
 			bw = cap.TotalBW
 		}
+		var apps []dectrace.AppRecord
+		if s.cfg.DecisionTrace != nil {
+			// Capture before applying: applyGrantLocked mutates the view.
+			apps = dectrace.CaptureApps(nil, s.wantViewsLocked())
+		}
 		s.applyGrantLocked(sess, bw, now)
 		s.skipped++
+		s.skippedSingle++
 		s.decided = true
 		// Post-apply version is sound: the outcome depends only on the
 		// candidate set, not on the fields applyGrantLocked changed.
 		s.decidedVersion = s.candVersion
+		if s.cfg.DecisionTrace != nil {
+			s.emitTraceLocked(core.SkipSingleFullGrant, now, kind, cap, s.candVersion, apps,
+				[]dectrace.GrantRecord{{ID: sess.view.ID, BW: bw}})
+		}
 		return
 	}
 
@@ -695,12 +734,26 @@ func (s *Server) decideLocked(now float64) {
 			demand += float64(sess.view.Nodes) * cap.NodeBW
 		}
 		if demand <= cap.TotalBW*(1-1e-9) {
+			var apps []dectrace.AppRecord
+			var grants []dectrace.GrantRecord
+			if s.cfg.DecisionTrace != nil {
+				apps = dectrace.CaptureApps(nil, s.wantViewsLocked())
+				for _, sess := range s.candidates {
+					grants = append(grants, dectrace.GrantRecord{
+						ID: sess.view.ID, BW: float64(sess.view.Nodes) * cap.NodeBW,
+					})
+				}
+			}
 			for _, sess := range s.candidates {
 				s.applyGrantLocked(sess, float64(sess.view.Nodes)*cap.NodeBW, now)
 			}
 			s.skipped++
+			s.skippedSaturating++
 			s.decided = true
 			s.decidedVersion = s.candVersion
+			if s.cfg.DecisionTrace != nil {
+				s.emitTraceLocked(core.SkipSaturating, now, kind, cap, s.candVersion, apps, grants)
+			}
 			return
 		}
 	}
@@ -713,6 +766,12 @@ func (s *Server) decideLocked(now float64) {
 	ver := s.candVersion
 	grants := core.AllocateWith(s.cfg.Policy, &s.scr, now, want, cap)
 	s.decisions++
+	if s.cfg.DecisionTrace != nil {
+		// Views are still pre-application here; the apply loop below is
+		// what mutates them.
+		s.emitTraceLocked(core.SkipNone, now, kind, cap, ver,
+			dectrace.CaptureApps(nil, want), dectrace.CaptureGrants(nil, grants))
+	}
 	s.round++
 	for _, g := range grants {
 		if sess, ok := s.sessions[g.AppID]; ok && sess.cand {
@@ -729,6 +788,26 @@ func (s *Server) decideLocked(now float64) {
 	}
 	s.decided = true
 	s.decidedVersion = ver
+}
+
+// emitTraceLocked builds one decision record and hands it to the attached
+// sink. Callers hold s.mu and pass pre-captured apps/grants (nil for memo
+// skips). Counters in the record are post-round.
+func (s *Server) emitTraceLocked(verdict core.SkipReason, now float64, kind string, cap core.Capacity, ver uint64, apps []dectrace.AppRecord, grants []dectrace.GrantRecord) {
+	s.cfg.DecisionTrace.Observe(&dectrace.Record{
+		Seq:         s.rounds,
+		Time:        now,
+		Kind:        kind,
+		Policy:      s.cfg.Policy.Name(),
+		Verdict:     verdict.String(),
+		CandVersion: ver,
+		TotalBW:     cap.TotalBW,
+		NodeBW:      cap.NodeBW,
+		Decisions:   int(s.decisions),
+		Skipped:     int(s.skipped),
+		Apps:        apps,
+		Grants:      grants,
+	})
 }
 
 // applyGrantLocked installs one session's bandwidth verdict, keeps the
@@ -830,7 +909,7 @@ func (s *Server) onWake() {
 		return
 	}
 	s.wakeArmed = false
-	s.roundLocked()
+	s.roundLocked("wake")
 	s.mu.Unlock()
 }
 

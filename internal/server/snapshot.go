@@ -119,7 +119,7 @@ func (s *Server) SetPolicy(p core.Scheduler) error {
 		// non-Waker successor.
 		s.disarmWakeLocked()
 	}
-	s.roundLocked()
+	s.roundLocked("policy")
 	return nil
 }
 

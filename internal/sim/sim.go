@@ -21,9 +21,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/bb"
 	"repro/internal/core"
+	"repro/internal/dectrace"
 	"repro/internal/des"
 	"repro/internal/metrics"
 	"repro/internal/platform"
@@ -60,6 +62,11 @@ type Config struct {
 	// Trace, when non-nil, records every application's phase and
 	// bandwidth over time for visualization (report.RenderGantt).
 	Trace *Trace
+
+	// DecisionTrace, when non-nil, receives one dectrace.Record per
+	// decision point — scheduler invocations and capability skips alike
+	// (see docs/tracing.md). Nil leaves the hot path untouched.
+	DecisionTrace dectrace.Sink
 }
 
 // Result is the outcome of a run.
@@ -78,6 +85,12 @@ type Result struct {
 	// pre-refactor engine, which invoked the scheduler at every event
 	// with candidates.
 	Skipped int
+	// SkippedMemo, SkippedSaturating and SkippedSingleFullGrant break
+	// Skipped down by the capability that proved each skip sound
+	// (core.SkipReason); the three always sum to Skipped.
+	SkippedMemo            int
+	SkippedSaturating      int
+	SkippedSingleFullGrant int
 	// BBPeakLevel is the maximum burst-buffer fill level reached (GiB).
 	BBPeakLevel float64
 	// BBFullTime is the total time the burst buffer spent full (seconds).
@@ -167,6 +180,16 @@ type simulation struct {
 	events    int
 	decisions int
 	skipped   int
+
+	// Per-reason skip breakdown; the three sum to skipped.
+	skippedMemo       int
+	skippedSaturating int
+	skippedSingle     int
+
+	// firedKinds is the bitmask of phase transitions the current event
+	// instant fired, reset by fireDue; it names the decision trigger in
+	// decision-trace records (kindString).
+	firedKinds uint8
 
 	// unfinished counts apps not yet in the finished phase.
 	unfinished int
@@ -596,6 +619,7 @@ func (s *simulation) advanceTo(t float64) {
 // advanceTo. The batch is ordered by application index before firing —
 // the order in which the original loop's all-apps sweep visited them.
 func (s *simulation) fireDue() {
+	s.firedKinds = 0
 	s.due = append(s.due[:0], s.zeroPending...)
 	s.zeroPending = s.zeroPending[:0]
 	for s.eng.StepDue(s.now + timeEps) {
@@ -612,20 +636,24 @@ func (s *simulation) fireDue() {
 		switch st.phase {
 		case notReleased:
 			if st.until <= s.now+timeEps {
+				s.firedKinds |= kindRelease
 				s.beginCompute(st)
 				// beginCompute may complete zero-work phases
 				// recursively; nothing else to do here.
 			}
 		case computing:
 			if st.until <= s.now+timeEps {
+				s.firedKinds |= kindComputeEnd
 				s.completeCompute(st)
 			}
 		case requesting:
 			if st.until <= s.now+timeEps {
+				s.firedKinds |= kindRequestReady
 				s.beginIO(st)
 			}
 		case doingIO:
 			if st.view.RemVolume <= volEps {
+				s.firedKinds |= kindIOComplete
 				s.completeIO(st)
 			}
 		}
@@ -660,6 +688,12 @@ func (s *simulation) decide() {
 	// that changed what a policy may read invalidates its own memo.
 	if s.caps.Memoizable && s.decided && s.candVersion == s.decidedVersion && cap == s.decidedCap {
 		s.skipped++
+		s.skippedMemo++
+		if s.cfg.DecisionTrace != nil {
+			// Memo skips omit apps and grants: both are the previous
+			// record's, unchanged by construction.
+			s.emitTrace(core.SkipMemo, cap, s.candVersion, nil, nil)
+		}
 		return
 	}
 
@@ -673,9 +707,19 @@ func (s *simulation) decide() {
 		if bw > cap.TotalBW {
 			bw = cap.TotalBW
 		}
+		var apps []dectrace.AppRecord
+		if s.cfg.DecisionTrace != nil {
+			// Capture before applying: applyGrant mutates the view.
+			apps = dectrace.CaptureApps(nil, s.wantViews())
+		}
 		s.applyGrant(st, bw)
 		s.skipped++
+		s.skippedSingle++
 		s.decided = true
+		if s.cfg.DecisionTrace != nil {
+			s.emitTrace(core.SkipSingleFullGrant, cap, s.candVersion, apps,
+				[]dectrace.GrantRecord{{ID: st.view.ID, BW: bw}})
+		}
 		// Recording the post-apply version is sound here: the outcome
 		// depends only on the candidate set and the capacity, not on the
 		// fields applyGrant may have just changed.
@@ -694,11 +738,25 @@ func (s *simulation) decide() {
 			demand += float64(st.view.Nodes) * cap.NodeBW
 		}
 		if demand <= cap.TotalBW*(1-1e-9) {
+			var apps []dectrace.AppRecord
+			var grants []dectrace.GrantRecord
+			if s.cfg.DecisionTrace != nil {
+				apps = dectrace.CaptureApps(nil, s.wantViews())
+				for _, st := range s.candidates {
+					grants = append(grants, dectrace.GrantRecord{
+						ID: st.view.ID, BW: float64(st.view.Nodes) * cap.NodeBW,
+					})
+				}
+			}
 			for _, st := range s.candidates {
 				s.applyGrant(st, float64(st.view.Nodes)*cap.NodeBW)
 			}
 			s.skipped++
+			s.skippedSaturating++
 			s.decided = true
+			if s.cfg.DecisionTrace != nil {
+				s.emitTrace(core.SkipSaturating, cap, s.candVersion, apps, grants)
+			}
 			// Post-apply version, as above: with the same set and capacity
 			// the demand is the same, and a Saturating policy re-grants the
 			// full caps whatever discrete state the application changed.
@@ -721,6 +779,12 @@ func (s *simulation) decide() {
 			panic(fmt.Sprintf("sim: scheduler %s: %v", s.cfg.Scheduler.Name(), err))
 		}
 	}
+	if s.cfg.DecisionTrace != nil {
+		// Views are still pre-application here; the apply loop below is
+		// what mutates them.
+		s.emitTrace(core.SkipNone, cap, ver,
+			dectrace.CaptureApps(nil, want), dectrace.CaptureGrants(nil, grants))
+	}
 	s.round++
 	for _, g := range grants {
 		if st := s.byID[g.AppID]; st != nil {
@@ -738,6 +802,65 @@ func (s *simulation) decide() {
 	s.decided = true
 	s.decidedVersion = ver
 	s.decidedCap = cap
+}
+
+// Bits of simulation.firedKinds: which phase transitions the current
+// event instant fired (set by fireDue's dispatch loop).
+const (
+	kindRelease uint8 = 1 << iota
+	kindComputeEnd
+	kindRequestReady
+	kindIOComplete
+)
+
+var kindNames = [...]string{"release", "compute-end", "request-ready", "io-complete"}
+
+// kindString names a fired-transition bitmask for trace records:
+// pipe-joined in firing-phase order, or "timer" when the instant fired no
+// phase transition (a burst-buffer crossing or a scheduler wake).
+func kindString(mask uint8) string {
+	switch mask {
+	case 0:
+		return "timer"
+	case kindRelease:
+		return "release"
+	case kindComputeEnd:
+		return "compute-end"
+	case kindRequestReady:
+		return "request-ready"
+	case kindIOComplete:
+		return "io-complete"
+	}
+	var b strings.Builder
+	for i, name := range kindNames {
+		if mask&(1<<i) != 0 {
+			if b.Len() > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(name)
+		}
+	}
+	return b.String()
+}
+
+// emitTrace builds one decision record and hands it to the attached sink.
+// Callers pass pre-captured apps/grants (nil for memo skips) and the
+// candidate-set version the decision is memoized under.
+func (s *simulation) emitTrace(verdict core.SkipReason, cap core.Capacity, ver uint64, apps []dectrace.AppRecord, grants []dectrace.GrantRecord) {
+	s.cfg.DecisionTrace.Observe(&dectrace.Record{
+		Seq:         uint64(s.decisions + s.skipped),
+		Time:        s.now,
+		Kind:        kindString(s.firedKinds),
+		Policy:      s.cfg.Scheduler.Name(),
+		Verdict:     verdict.String(),
+		CandVersion: ver,
+		TotalBW:     cap.TotalBW,
+		NodeBW:      cap.NodeBW,
+		Decisions:   s.decisions,
+		Skipped:     s.skipped,
+		Apps:        apps,
+		Grants:      grants,
+	})
 }
 
 // applyGrant installs one application's new bandwidth and keeps the
@@ -775,9 +898,12 @@ func (s *simulation) applyGrant(st *appState, bw float64) {
 
 func (s *simulation) collect() *Result {
 	res := &Result{
-		Events:    s.events,
-		Decisions: s.decisions,
-		Skipped:   s.skipped,
+		Events:                 s.events,
+		Decisions:              s.decisions,
+		Skipped:                s.skipped,
+		SkippedMemo:            s.skippedMemo,
+		SkippedSaturating:      s.skippedSaturating,
+		SkippedSingleFullGrant: s.skippedSingle,
 	}
 	if s.buffer != nil {
 		res.BBPeakLevel = s.buffer.Peak()

@@ -30,6 +30,17 @@ type Snapshot struct {
 	Decisions int `json:"decisions"`
 	Skipped   int `json:"skipped"`
 
+	// Per-reason breakdown of Skipped (core.SkipReason); the three sum
+	// to Skipped. Omitted from JSON when zero.
+	SkippedMemo            int `json:"skipped_memo,omitempty"`
+	SkippedSaturating      int `json:"skipped_saturating,omitempty"`
+	SkippedSingleFullGrant int `json:"skipped_single_full_grant,omitempty"`
+
+	// CandVersion carries the candidate-set version counter so decision
+	// traces are continuous across a resume (records carry the version;
+	// only equality between versions ever matters to the engine itself).
+	CandVersion uint64 `json:"cand_version,omitempty"`
+
 	// MemoValid reports that the engine's decision memo was live at the
 	// capture instant: a decision has been applied and no discrete
 	// scheduler-visible state changed since. MemoTotalBW/MemoNodeBW are
@@ -186,10 +197,14 @@ func ResumeToSnapshot(cfg Config, snap *Snapshot, stopAt float64) (*Snapshot, er
 // decision point is resolved, so the lists and the memo are consistent.
 func (s *simulation) snapshot() *Snapshot {
 	snap := &Snapshot{
-		Time:      s.now,
-		Events:    s.events,
-		Decisions: s.decisions,
-		Skipped:   s.skipped,
+		Time:                   s.now,
+		Events:                 s.events,
+		Decisions:              s.decisions,
+		Skipped:                s.skipped,
+		SkippedMemo:            s.skippedMemo,
+		SkippedSaturating:      s.skippedSaturating,
+		SkippedSingleFullGrant: s.skippedSingle,
+		CandVersion:            s.candVersion,
 	}
 	if s.decided && s.candVersion == s.decidedVersion {
 		snap.MemoValid = true
@@ -267,6 +282,9 @@ func newSimulationFromSnapshot(cfg Config, snap *Snapshot) (*simulation, error) 
 	s.events = snap.Events
 	s.decisions = snap.Decisions
 	s.skipped = snap.Skipped
+	s.skippedMemo = snap.SkippedMemo
+	s.skippedSaturating = snap.SkippedSaturating
+	s.skippedSingle = snap.SkippedSingleFullGrant
 	for i, a := range cfg.Apps {
 		as, ok := byID[a.ID]
 		if !ok {
@@ -359,6 +377,12 @@ func newSimulationFromSnapshot(cfg Config, snap *Snapshot) (*simulation, error) 
 			// at the next event instant, exactly as captured.
 			s.zeroPending = append(s.zeroPending, st)
 		}
+	}
+	if snap.CandVersion > s.candVersion {
+		// Rebuilding the lists above bumped candVersion from zero; jump to
+		// the captured value so resumed trace records stay continuous. The
+		// engine itself only ever compares versions for equality.
+		s.candVersion = snap.CandVersion
 	}
 	s.finishSetup()
 	if snap.BB != nil {

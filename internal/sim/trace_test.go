@@ -131,3 +131,45 @@ func TestRenderGanttErrors(t *testing.T) {
 		t.Error("empty span accepted")
 	}
 }
+
+// TestTraceRecordNonMergeAtPhaseFlip pins record's merge rule: two
+// adjacent intervals merge only when phase AND bandwidth AND app match
+// at the shared timestamp. A phase flip (or bandwidth step) at the same
+// instant must start a fresh segment, and zero-width intervals vanish
+// without breaking adjacency of their neighbours.
+func TestTraceRecordNonMergeAtPhaseFlip(t *testing.T) {
+	tr := &Trace{}
+	tr.record(1, 0, 5, core.Computing, 0)
+	tr.record(1, 5, 5, core.Computing, 0) // zero width: dropped
+	tr.record(1, 5, 10, core.Transferring, 2)
+	tr.record(1, 10, 15, core.Transferring, 2) // same everything: merges
+	tr.record(1, 15, 20, core.Transferring, 3) // bandwidth step: no merge
+	tr.record(2, 20, 25, core.Transferring, 3) // app change: no merge
+
+	want := []Segment{
+		{AppID: 1, Start: 0, End: 5, Phase: core.Computing, BW: 0},
+		{AppID: 1, Start: 5, End: 15, Phase: core.Transferring, BW: 2},
+		{AppID: 1, Start: 15, End: 20, Phase: core.Transferring, BW: 3},
+		{AppID: 2, Start: 20, End: 25, Phase: core.Transferring, BW: 3},
+	}
+	if len(tr.Segments) != len(want) {
+		t.Fatalf("%d segments, want %d: %+v", len(tr.Segments), len(want), tr.Segments)
+	}
+	for i, s := range tr.Segments {
+		if s != want[i] {
+			t.Errorf("segment %d = %+v, want %+v", i, s, want[i])
+		}
+	}
+
+	// The flip case proper: equal timestamps, equal bandwidth, different
+	// phase — adjacent but never merged.
+	flip := &Trace{}
+	flip.record(3, 0, 4, core.Transferring, 1)
+	flip.record(3, 4, 8, core.Pending, 1)
+	if len(flip.Segments) != 2 {
+		t.Fatalf("phase flip merged: %+v", flip.Segments)
+	}
+	if flip.Segments[0].End != flip.Segments[1].Start {
+		t.Errorf("flip segments not adjacent: %+v", flip.Segments)
+	}
+}

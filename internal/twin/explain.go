@@ -1,0 +1,339 @@
+package twin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dectrace"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/sim"
+)
+
+// ExplainConfig describes a counterfactual-replay analysis: which run to
+// record, which alternative policies to force at each decision point, and
+// how many costliest decisions to report.
+type ExplainConfig struct {
+	// Sim is the base run: the incumbent policy and its workload. Trace
+	// and DecisionTrace are ignored — Explain attaches its own recorder.
+	Sim sim.Config
+	// From, when non-nil, records the base run from this snapshot instead
+	// of from t = 0 (a daemon's exported state, or a mid-campaign
+	// snapshot). The snapshot is not mutated.
+	From *sim.Snapshot
+	// Panel is the alternative policies to force at each examined decision
+	// point (core.ByName names). The incumbent is filtered out. Empty
+	// selects every registered heuristic except the incumbent.
+	Panel []string
+	// TopK bounds how many costliest decisions Explain returns (<= 0
+	// selects 5).
+	TopK int
+	// MaxPoints bounds how many recorded decision points are forked (<= 0
+	// selects 32). When the trace has more, the points are sampled evenly
+	// across the run, so long traces stay explainable at a bounded cost.
+	MaxPoints int
+	// Workers bounds the fork fan-out parallelism (<= 0 selects
+	// GOMAXPROCS).
+	Workers int
+}
+
+// Alternative is one forced policy's outcome at one decision point.
+type Alternative struct {
+	Policy string `json:"policy"`
+	// Dilation and SysEfficiency are the full-run objectives when this
+	// policy decides once at the fork instant and the incumbent decides
+	// everything after.
+	Dilation      float64 `json:"dilation"`
+	SysEfficiency float64 `json:"sys_efficiency"`
+	// Err is set when the fork's simulation failed; the objectives are
+	// then zero and the alternative is ignored for ranking.
+	Err string `json:"err,omitempty"`
+}
+
+// DecisionImpact attributes outcome deltas to one recorded decision.
+type DecisionImpact struct {
+	// Seq, Time, Kind and Verdict identify the recorded decision point
+	// (dectrace.Record fields).
+	Seq     uint64  `json:"seq"`
+	Time    float64 `json:"t"`
+	Kind    string  `json:"kind,omitempty"`
+	Verdict string  `json:"verdict"`
+	// Grants is the verdict the incumbent recorded at this point.
+	Grants []dectrace.GrantRecord `json:"grants,omitempty"`
+	// Alternatives holds each forced policy's full-run outcome, in panel
+	// order.
+	Alternatives []Alternative `json:"alternatives"`
+	// BestPolicy is the alternative with the lowest Dilation (ties broken
+	// by higher SysEfficiency, then panel order); DilationDelta and
+	// SysEffDelta are base − best and best − base respectively, so
+	// positive values mean the recorded decision cost that much versus
+	// the best forced alternative.
+	BestPolicy    string  `json:"best_policy"`
+	DilationDelta float64 `json:"dilation_delta"`
+	SysEffDelta   float64 `json:"syseff_delta"`
+}
+
+// Explanation is the result of a counterfactual replay analysis.
+type Explanation struct {
+	Policy string `json:"policy"`
+	// BaseDilation and BaseSysEff are the unmodified run's objectives.
+	BaseDilation float64 `json:"base_dilation"`
+	BaseSysEff   float64 `json:"base_sys_efficiency"`
+	// Points is how many decision points were recorded; Forked how many
+	// were examined (<= MaxPoints); ForksRun the total fork simulations.
+	Points   int `json:"points"`
+	Forked   int `json:"forked"`
+	ForksRun int `json:"forks_run"`
+	// Costliest is the TopK decisions ranked by DilationDelta, descending:
+	// the decisions where some single alternative verdict would have
+	// improved the final max-stretch the most.
+	Costliest []DecisionImpact `json:"costliest"`
+}
+
+// Explain records the base run's decision trace, forks the run at each
+// examined decision point — forcing each panel policy's verdict for that
+// single decision via dectrace.ForceFirst, with every later decision back
+// under the incumbent — runs each fork to completion, and attributes the
+// objective deltas to the decisions. One trace, one snapshot-chaining
+// pass, len(points)·len(panel) fork simulations.
+func Explain(cfg ExplainConfig) (*Explanation, error) {
+	base := cfg.Sim
+	if base.Scheduler == nil {
+		return nil, errors.New("twin: explain: nil scheduler")
+	}
+	incumbent := base.Scheduler.Name()
+	panel, err := explainPanel(cfg.Panel, incumbent)
+	if err != nil {
+		return nil, err
+	}
+
+	// Record pass: the base run with a decision trace attached.
+	sink := &dectrace.Slice{}
+	base.Trace = nil
+	base.DecisionTrace = sink
+	var baseRes *sim.Result
+	if cfg.From != nil {
+		from := cfg.From.Clone()
+		from.RedecideOnResume = false
+		baseRes, err = sim.Resume(base, from)
+	} else {
+		baseRes, err = sim.Run(base)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("twin: explain: base run: %v", err)
+	}
+
+	ex := &Explanation{
+		Policy:       incumbent,
+		BaseDilation: baseRes.Summary.Dilation,
+		BaseSysEff:   baseRes.Summary.SysEfficiency,
+		Points:       len(sink.Records),
+	}
+	points := selectPoints(sink.Records, cfg.MaxPoints, cfg.From)
+	ex.Forked = len(points)
+	if len(points) == 0 {
+		return ex, nil
+	}
+
+	// Snapshot chaining: one forward pass captures the state at each fork
+	// instant. Chained ResumeToSnapshot calls replay the identical event
+	// stream (split-run equivalence), so every capture matches the state
+	// the recorded decision left behind.
+	snaps := make([]*sim.Snapshot, len(points))
+	quiet := base
+	quiet.DecisionTrace = nil
+	cur := cfg.From
+	for i, p := range points {
+		if cur != nil {
+			next := cur.Clone()
+			next.RedecideOnResume = false
+			snaps[i], err = sim.ResumeToSnapshot(quiet, next, p.Time)
+		} else {
+			snaps[i], err = sim.RunToSnapshot(quiet, p.Time)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("twin: explain: snapshot at t=%g: %v", p.Time, err)
+		}
+		cur = snaps[i]
+	}
+
+	// Fork fan-out: every (point, alternative) pair runs independently.
+	type forkKey struct{ point, alt int }
+	keys := make([]forkKey, 0, len(points)*len(panel))
+	for pi := range points {
+		for ai := range panel {
+			keys = append(keys, forkKey{pi, ai})
+		}
+	}
+	ex.ForksRun = len(keys)
+	alts, err := parallel.Map(len(keys), cfg.Workers, func(i int) (Alternative, error) {
+		k := keys[i]
+		return runFork(base, snaps[k.point], panel[k.alt]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for pi, p := range points {
+		imp := DecisionImpact{
+			Seq:          p.Seq,
+			Time:         p.Time,
+			Kind:         p.Kind,
+			Verdict:      p.Verdict,
+			Grants:       p.Grants,
+			Alternatives: alts[pi*len(panel) : (pi+1)*len(panel)],
+		}
+		best := -1
+		for ai, a := range imp.Alternatives {
+			if a.Err != "" {
+				continue
+			}
+			if best < 0 || a.Dilation < imp.Alternatives[best].Dilation ||
+				(a.Dilation == imp.Alternatives[best].Dilation && a.SysEfficiency > imp.Alternatives[best].SysEfficiency) {
+				best = ai
+			}
+		}
+		if best >= 0 {
+			b := imp.Alternatives[best]
+			imp.BestPolicy = b.Policy
+			imp.DilationDelta = ex.BaseDilation - b.Dilation
+			imp.SysEffDelta = b.SysEfficiency - ex.BaseSysEff
+		}
+		ex.Costliest = append(ex.Costliest, imp)
+	}
+	sort.SliceStable(ex.Costliest, func(i, j int) bool {
+		return ex.Costliest[i].DilationDelta > ex.Costliest[j].DilationDelta
+	})
+	topK := cfg.TopK
+	if topK <= 0 {
+		topK = 5
+	}
+	if len(ex.Costliest) > topK {
+		ex.Costliest = ex.Costliest[:topK]
+	}
+	return ex, nil
+}
+
+// explainPanel resolves the alternative-policy panel, dropping the
+// incumbent (forcing the incumbent's own verdict is the base run).
+func explainPanel(names []string, incumbent string) ([]core.Scheduler, error) {
+	var panel []core.Scheduler
+	if len(names) == 0 {
+		for _, s := range core.AllHeuristics() {
+			if s.Name() != incumbent {
+				panel = append(panel, s)
+			}
+		}
+	} else {
+		for _, name := range names {
+			s, err := core.ByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("twin: explain: %w", err)
+			}
+			if s.Name() == incumbent {
+				continue
+			}
+			panel = append(panel, s)
+		}
+	}
+	if len(panel) == 0 {
+		return nil, errors.New("twin: explain: empty alternative panel")
+	}
+	return panel, nil
+}
+
+// selectPoints picks the decision points to fork: real policy invocations
+// (capability skips have provably forced outcomes — forcing an
+// alternative there second-guesses arithmetic, not policy), deduplicated
+// to the last decision per event instant (a fork resumes at an instant
+// boundary, so only the instant's final decision state is reachable), and
+// evenly sampled down to maxPoints. Points at or before a From snapshot's
+// instant are excluded — the chaining pass cannot rewind behind it.
+func selectPoints(recs []*dectrace.Record, maxPoints int, from *sim.Snapshot) []*dectrace.Record {
+	var pts []*dectrace.Record
+	for _, r := range recs {
+		if r.Verdict != core.SkipNone.String() {
+			continue
+		}
+		if from != nil && r.Time <= from.Time {
+			continue
+		}
+		if n := len(pts); n > 0 && pts[n-1].Time == r.Time {
+			pts[n-1] = r
+			continue
+		}
+		pts = append(pts, r)
+	}
+	if maxPoints <= 0 {
+		maxPoints = 32
+	}
+	if len(pts) <= maxPoints {
+		return pts
+	}
+	if maxPoints == 1 {
+		return pts[len(pts)/2 : len(pts)/2+1]
+	}
+	out := make([]*dectrace.Record, maxPoints)
+	for i := range out {
+		// Even positions across [0, len(pts)-1], endpoints included.
+		out[i] = pts[i*(len(pts)-1)/(maxPoints-1)]
+	}
+	return out
+}
+
+// runFork resumes one captured decision instant with alt deciding exactly
+// the forced round and the incumbent deciding everything after, and
+// reduces the completed run to its objectives.
+func runFork(base sim.Config, snap *sim.Snapshot, alt core.Scheduler) Alternative {
+	cfg := base
+	cfg.DecisionTrace = nil
+	// ForceFirst declares no capabilities, so the engine invokes Allocate
+	// at every decision point; by the capability contract that changes
+	// speed, not outcomes. A capability-dependent incumbent (e.g. a Waker
+	// wrapped policy) loses only its self-wake instants.
+	cfg.Scheduler = dectrace.ForceFirst(alt, base.Scheduler)
+	s := snap.Clone()
+	// The forced round replaces the recorded verdict at the capture
+	// instant; without it the fork would be a faithful continuation.
+	s.RedecideOnResume = true
+	res, err := sim.Resume(cfg, s)
+	if err != nil {
+		return Alternative{Policy: alt.Name(), Err: err.Error()}
+	}
+	return Alternative{
+		Policy:        alt.Name(),
+		Dilation:      res.Summary.Dilation,
+		SysEfficiency: res.Summary.SysEfficiency,
+	}
+}
+
+// WhatIfGrants forks a recorded run at one decision instant with a
+// hand-written (or recorded) grant vector forced for that single round
+// and returns the completed run's objectives. It is the surgical variant
+// of Explain: instead of asking "what would policy P have done here", it
+// asks "what if the verdict had been exactly these grants".
+func WhatIfGrants(base sim.Config, snap *sim.Snapshot, grants []dectrace.GrantRecord) (metrics.Summary, error) {
+	if snap == nil {
+		return metrics.Summary{}, errors.New("twin: what-if: nil snapshot")
+	}
+	gs := make([]core.Grant, 0, len(grants))
+	for _, g := range grants {
+		if !(g.BW >= 0) || math.IsInf(g.BW, 0) {
+			return metrics.Summary{}, fmt.Errorf("twin: what-if: bad bandwidth %g for app %d", g.BW, g.ID)
+		}
+		gs = append(gs, core.Grant{AppID: g.ID, BW: g.BW})
+	}
+	cfg := base
+	cfg.DecisionTrace = nil
+	cfg.Scheduler = dectrace.ForceFirst(dectrace.FixedGrants("what-if", gs), base.Scheduler)
+	s := snap.Clone()
+	s.RedecideOnResume = true
+	res, err := sim.Resume(cfg, s)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	return res.Summary, nil
+}

@@ -1,0 +1,212 @@
+package twin
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dectrace"
+	"repro/internal/sim"
+)
+
+// TestExplainForcesSelf pins the counterfactual engine's fidelity: when
+// the only "alternative" forced at each decision point is a
+// capability-stripped copy of the incumbent itself, every fork reproduces
+// the base run's objectives exactly — the fork machinery (snapshot
+// chaining, forced redecide, ForceFirst wrapping) is outcome-neutral.
+func TestExplainForcesSelf(t *testing.T) {
+	cfg, _ := testWorkload(t)
+	cfg.Scheduler = core.MaxSysEff()
+	// Sanity: the public path forks something at all under a real panel.
+	ex, err := Explain(ExplainConfig{
+		Sim:       cfg,
+		Panel:     []string{"MinDilation"},
+		TopK:      100,
+		MaxPoints: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Forked == 0 || len(ex.Costliest) == 0 {
+		t.Fatalf("no decision points forked (points=%d)", ex.Points)
+	}
+
+	// Same run, but force the incumbent against itself by wrapping it so
+	// its Name differs (the panel filters the incumbent by name). The
+	// wrapper strips capabilities, which the capability contract proves
+	// outcome-neutral, so every delta must be exactly zero.
+	self := dectrace.ForceFirst(core.MaxSysEff(), core.MaxSysEff())
+	base := cfg
+	base.Scheduler = core.MaxSysEff()
+	selfEx, err := explainWithSchedulers(base, []core.Scheduler{self}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, imp := range selfEx.Costliest {
+		if len(imp.Alternatives) != 1 {
+			t.Fatalf("seq %d: %d alternatives, want 1", imp.Seq, len(imp.Alternatives))
+		}
+		a := imp.Alternatives[0]
+		if a.Err != "" {
+			t.Fatalf("seq %d: self-fork failed: %s", imp.Seq, a.Err)
+		}
+		if a.Dilation != selfEx.BaseDilation || a.SysEfficiency != selfEx.BaseSysEff {
+			t.Errorf("seq %d (t=%g): self-fork dilation %g syseff %g, base %g %g",
+				imp.Seq, imp.Time, a.Dilation, a.SysEfficiency, selfEx.BaseDilation, selfEx.BaseSysEff)
+		}
+		if imp.DilationDelta != 0 || imp.SysEffDelta != 0 {
+			t.Errorf("seq %d: nonzero deltas %g/%g for a self-fork", imp.Seq, imp.DilationDelta, imp.SysEffDelta)
+		}
+	}
+}
+
+// explainWithSchedulers is the test backdoor into Explain's fork loop
+// with pre-built scheduler values (the public API resolves names).
+func explainWithSchedulers(base sim.Config, panel []core.Scheduler, maxPoints int) (*Explanation, error) {
+	sink := &dectrace.Slice{}
+	rec := base
+	rec.DecisionTrace = sink
+	baseRes, err := sim.Run(rec)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Explanation{
+		Policy:       base.Scheduler.Name(),
+		BaseDilation: baseRes.Summary.Dilation,
+		BaseSysEff:   baseRes.Summary.SysEfficiency,
+		Points:       len(sink.Records),
+	}
+	points := selectPoints(sink.Records, maxPoints, nil)
+	var cur *sim.Snapshot
+	for _, p := range points {
+		if cur == nil {
+			cur, err = sim.RunToSnapshot(base, p.Time)
+		} else {
+			next := cur.Clone()
+			cur, err = sim.ResumeToSnapshot(base, next, p.Time)
+		}
+		if err != nil {
+			return nil, err
+		}
+		imp := DecisionImpact{Seq: p.Seq, Time: p.Time, Verdict: p.Verdict}
+		for _, alt := range panel {
+			imp.Alternatives = append(imp.Alternatives, runFork(base, cur, alt))
+		}
+		a := imp.Alternatives[0]
+		if a.Err == "" {
+			imp.BestPolicy = a.Policy
+			imp.DilationDelta = ex.BaseDilation - a.Dilation
+			imp.SysEffDelta = a.SysEfficiency - ex.BaseSysEff
+		}
+		ex.Costliest = append(ex.Costliest, imp)
+	}
+	ex.Forked = len(points)
+	return ex, nil
+}
+
+// TestExplainPanelAndRanking checks the public entry point end to end:
+// default panel resolution, ranking order, and the TopK cut.
+func TestExplainPanelAndRanking(t *testing.T) {
+	cfg, _ := testWorkload(t)
+	cfg.Scheduler = core.FairShare{}
+	ex, err := Explain(ExplainConfig{Sim: cfg, TopK: 3, MaxPoints: 6, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Policy != "fair-share" {
+		t.Errorf("incumbent = %q", ex.Policy)
+	}
+	if ex.BaseDilation < 1 {
+		t.Errorf("base dilation %g < 1", ex.BaseDilation)
+	}
+	if len(ex.Costliest) > 3 {
+		t.Errorf("TopK=3 returned %d impacts", len(ex.Costliest))
+	}
+	for i := 1; i < len(ex.Costliest); i++ {
+		if ex.Costliest[i-1].DilationDelta < ex.Costliest[i].DilationDelta {
+			t.Errorf("impacts not sorted: delta[%d]=%g < delta[%d]=%g",
+				i-1, ex.Costliest[i-1].DilationDelta, i, ex.Costliest[i].DilationDelta)
+		}
+	}
+	for _, imp := range ex.Costliest {
+		if imp.Verdict != "decide" {
+			t.Errorf("seq %d: forked a %q point; only real decisions are forkable", imp.Seq, imp.Verdict)
+		}
+		for _, a := range imp.Alternatives {
+			if a.Policy == "fair-share" {
+				t.Errorf("seq %d: incumbent leaked into the alternative panel", imp.Seq)
+			}
+			if a.Err != "" {
+				t.Errorf("seq %d: fork under %s failed: %s", imp.Seq, a.Policy, a.Err)
+			}
+		}
+		if imp.BestPolicy == "" {
+			t.Errorf("seq %d: no best alternative", imp.Seq)
+		}
+	}
+
+	if _, err := Explain(ExplainConfig{Sim: cfg, Panel: []string{"fair-share"}}); err == nil {
+		t.Error("panel of only the incumbent must fail")
+	}
+	if _, err := Explain(ExplainConfig{Sim: cfg, Panel: []string{"no-such-policy"}}); err == nil {
+		t.Error("unknown policy must fail")
+	}
+}
+
+// TestWhatIfGrants checks the fixed-vector fork: forcing an empty grant
+// vector at a congested instant (everyone preempted for one round) is
+// valid and can only make the dilation worse or equal, while forcing the
+// recorded verdict itself is outcome-neutral.
+func TestWhatIfGrants(t *testing.T) {
+	cfg, _ := testWorkload(t)
+	cfg.Scheduler = core.MaxSysEff()
+
+	sink := &dectrace.Slice{}
+	rec := cfg
+	rec.DecisionTrace = sink
+	baseRes, err := sim.Run(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var point *dectrace.Record
+	for _, r := range sink.Records {
+		// The last full decision with grants: any would do; a late one
+		// keeps the forks short.
+		if r.Verdict == "decide" && len(r.Grants) > 0 {
+			point = r
+		}
+	}
+	if point == nil {
+		t.Skip("no full decision with grants in this workload")
+	}
+	snap, err := sim.RunToSnapshot(cfg, point.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Forcing the recorded verdict reproduces the base outcome.
+	same, err := WhatIfGrants(cfg, snap, point.Grants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Dilation != baseRes.Summary.Dilation {
+		t.Errorf("forcing the recorded verdict changed dilation: %g vs %g",
+			same.Dilation, baseRes.Summary.Dilation)
+	}
+
+	// Forcing a one-round total preemption cannot help.
+	stall, err := WhatIfGrants(cfg, snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stall.Dilation < baseRes.Summary.Dilation {
+		t.Errorf("stalling every app improved dilation: %g < %g",
+			stall.Dilation, baseRes.Summary.Dilation)
+	}
+
+	if _, err := WhatIfGrants(cfg, snap, []dectrace.GrantRecord{{ID: 1, BW: -3}}); err == nil {
+		t.Error("negative bandwidth must fail")
+	}
+	if _, err := WhatIfGrants(cfg, nil, nil); err == nil {
+		t.Error("nil snapshot must fail")
+	}
+}

@@ -37,6 +37,7 @@ package iosched
 import (
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dectrace"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/periodic"
@@ -164,6 +165,41 @@ var (
 	NewTwinAdvisor = twin.NewAdvisor
 	// AdvisedSimulate executes a workload under advisor control.
 	AdvisedSimulate = twin.AdvisedRun
+)
+
+// Decision tracing and counterfactual replay (internal/dectrace,
+// twin.Explain): every allocation decision point of the simulator and
+// the daemon, recordable as JSONL or an in-memory ring, plus the engine
+// that forks a recorded run at its decision points to price them.
+type (
+	// DecisionRecord is one decision point: timestamp, triggering event
+	// kind, verdict (grants or a skip reason) and the engine's view of
+	// the candidates.
+	DecisionRecord = dectrace.Record
+	// DecisionSink consumes decision records as the engine makes them
+	// (attach via SimConfig.DecisionTrace).
+	DecisionSink = dectrace.Sink
+	// DecisionRing keeps the most recent records in memory.
+	DecisionRing = dectrace.Ring
+	// DecisionWriter streams records as JSON Lines.
+	DecisionWriter = dectrace.Writer
+	// ExplainConfig configures a counterfactual replay.
+	ExplainConfig = twin.ExplainConfig
+	// Explanation ranks a run's costliest decisions.
+	Explanation = twin.Explanation
+)
+
+var (
+	// NewDecisionRing builds a ring sink keeping the last n records.
+	NewDecisionRing = dectrace.NewRing
+	// NewDecisionWriter builds a JSONL streaming sink.
+	NewDecisionWriter = dectrace.NewWriter
+	// ReadDecisionTrace parses a recorded JSONL decision trace.
+	ReadDecisionTrace = dectrace.ReadAll
+	// Explain records a run's decisions and replays the alternatives.
+	Explain = twin.Explain
+	// WhatIfGrants forks a snapshot with one forced grant vector.
+	WhatIfGrants = twin.WhatIfGrants
 )
 
 // Cluster emulation (Section 5).
