@@ -11,10 +11,13 @@
 //     runners are noisy and their hardware differs from the recording
 //     machine); it catches order-of-magnitude mistakes — an accidentally
 //     quadratic rescan — not single-digit drift.
-//   - allocs/op against alloc-factor × baseline: allocation counts are
-//     machine-independent and deterministic, so this is the tight,
-//     reliable half of the gate — a reintroduced per-event allocation
-//     fails it on any hardware (requires -benchmem output).
+//   - allocs/op against baseline + alloc-slack: allocation counts are
+//     machine-independent and deterministic, so this half of the gate is
+//     exact-or-better — a measurement may beat the baseline freely but
+//     may exceed it only by the small absolute slack (a few allocations
+//     of scheduling jitter), never by a factor. A reintroduced per-event
+//     or per-candidate allocation fails it on any hardware (requires
+//     -benchmem output).
 //
 // Benchmarks present in only one of the two sides are ignored, so adding
 // a benchmark does not require regenerating the baseline. Use -require to
@@ -58,7 +61,7 @@ type measurement struct {
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline file")
 	factor := flag.Float64("factor", 2, "fail when ns/op exceeds baseline by this factor")
-	allocFactor := flag.Float64("alloc-factor", 1.5, "fail when allocs/op exceeds baseline by this factor")
+	allocSlack := flag.Float64("alloc-slack", 8, "fail when allocs/op exceeds baseline by more than this many allocations")
 	require := flag.String("require", "", "comma-separated benchmark names that must appear on stdin")
 	flag.Parse()
 
@@ -98,9 +101,9 @@ func main() {
 		}
 		allocNote := ""
 		if ref.AllocsPerOp > 0 && m.allocsPerOp >= 0 {
-			ar := m.allocsPerOp / ref.AllocsPerOp
-			allocNote = fmt.Sprintf("  allocs %6.0f/%6.0f (%.2fx)", m.allocsPerOp, ref.AllocsPerOp, ar)
-			if ar > *allocFactor {
+			allocNote = fmt.Sprintf("  allocs %6.0f/%6.0f (%+.0f)",
+				m.allocsPerOp, ref.AllocsPerOp, m.allocsPerOp-ref.AllocsPerOp)
+			if m.allocsPerOp > ref.AllocsPerOp+*allocSlack {
 				status = "FAIL(allocs/op)"
 				failed++
 			}
@@ -112,8 +115,8 @@ func main() {
 		fatal("no measured benchmark matched the baseline (names: %v)", keys(base.Benchmarks))
 	}
 	if failed > 0 {
-		fatal("%d check(s) regressed beyond ns/op %.1fx / allocs %.1fx (baseline recorded %s on %s)",
-			failed, *factor, *allocFactor, base.Recorded, base.CPU)
+		fatal("%d check(s) regressed beyond ns/op %.1fx / allocs baseline+%.0f (baseline recorded %s on %s)",
+			failed, *factor, *allocSlack, base.Recorded, base.CPU)
 	}
 }
 

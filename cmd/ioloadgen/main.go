@@ -11,16 +11,20 @@
 // Each client registers with its own app ID, requests -volume GiB after
 // -compute of simulated computation, waits for a nonzero grant, spends
 // -transfer mid-transfer (sending -progress interim reports), completes,
-// and repeats.
+// and repeats. With -ramp the clients connect spread evenly over that
+// window instead of all at once, so a deployment can be sized under a
+// gradual arrival curve rather than a thundering herd.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -41,6 +45,7 @@ func main() {
 		transfer = flag.Duration("transfer", time.Millisecond, "simulated transfer time per cycle")
 		progress = flag.Int("progress", 1, "interim progress reports per transfer")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-cycle grant wait limit")
+		ramp     = flag.Duration("ramp", 0, "spread client connections evenly over this window (0 connects all at once)")
 	)
 	flag.Parse()
 
@@ -78,9 +83,18 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if *ramp > 0 && *clients > 1 {
+				// Client k joins at k/(clients-1) of the ramp window, so
+				// the first connects immediately and the last at -ramp.
+				time.Sleep(*ramp * time.Duration(id-1) / time.Duration(*clients-1))
+			}
 			c, err := server.Dial(target, id, *nodes)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "ioloadgen: app %d: %v\n", id, err)
+				if isFDLimit(err) {
+					fmt.Fprintf(os.Stderr, "ioloadgen: hit the open-file-descriptor limit; raise it (e.g. `ulimit -n %d`) or lower -clients / spread connections with -ramp\n",
+						nextPow2(2**clients+64))
+				}
 				failures.Add(1)
 				return
 			}
@@ -140,6 +154,23 @@ func main() {
 	if failures.Load() > 0 {
 		os.Exit(1)
 	}
+}
+
+// isFDLimit reports whether err is the process running out of file
+// descriptors — the usual way a large -clients run dies, and worth a
+// hint because the raw "socket: too many open files" is easy to misread
+// as a daemon-side failure.
+func isFDLimit(err error) bool {
+	return errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE)
+}
+
+// nextPow2 rounds n up to a power of two for a tidy ulimit suggestion.
+func nextPow2(n int) int {
+	p := 1024
+	for p < n {
+		p *= 2
+	}
+	return p
 }
 
 func fatal(err error) {

@@ -43,6 +43,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"slices"
@@ -223,8 +224,17 @@ func main() {
 				"records": ring.Records(),
 			}, true
 		})
+		// Live profiling rides on the metrics endpoint: the daemon can be
+		// profiled under production load without a restart (see
+		// docs/performance.md). Deliberately on the operator-facing
+		// metrics listener, never the scheduling port.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go http.Serve(mln, mux) //nolint:errcheck // exits with the process
-		fmt.Fprintf(os.Stderr, "ioschedd: metrics on http://%s/metrics (/healthz, /snapshot, /forecast)\n", mln.Addr())
+		fmt.Fprintf(os.Stderr, "ioschedd: metrics on http://%s/metrics (/healthz, /snapshot, /forecast, /debug/pprof)\n", mln.Addr())
 	}
 
 	// SIGTERM must take the same graceful path as ^C: the deferred

@@ -8,12 +8,20 @@
 //
 // Results are rendered as ASCII tables/series on stdout and optionally
 // exported as CSV files for external plotting.
+//
+// For performance work, -cpuprofile and -memprofile write pprof
+// profiles covering the selected experiments (see docs/performance.md):
+//
+//	iosim -run fig6a -cpuprofile cpu.out
+//	go tool pprof cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,6 +37,8 @@ func main() {
 		replicates = flag.Int("replicates", 0, "override replicate count (Figure 6/7 studies)")
 		workers    = flag.Int("workers", 0, "max parallel replicates (default GOMAXPROCS)")
 		csvDir     = flag.String("csv", "", "directory to write CSV exports into")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -41,6 +51,18 @@ func main() {
 			fmt.Println("\nuse -run <id> or -run all")
 		}
 		return
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iosim: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "iosim: starting CPU profile: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	cfg := experiments.Config{
@@ -85,5 +107,27 @@ func main() {
 			}
 		}
 	}
+	// Explicit teardown, not defers: os.Exit below would skip them.
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		writeMemProfile(*memProf)
+	}
 	os.Exit(exit)
+}
+
+// writeMemProfile captures the post-run heap to path, GCing first so
+// the profile shows retained memory rather than garbage.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iosim: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "iosim: writing heap profile: %v\n", err)
+	}
 }

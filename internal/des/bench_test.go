@@ -2,6 +2,41 @@ package des
 
 import "testing"
 
+// BenchmarkDes100kTimers is the population-scale timer benchmark: arm
+// 100k timers at scattered instants, reschedule a third of them, cancel a
+// seventh, and drain the rest — the heap load of a simulator or daemon
+// tracking a 100k-application population. Recorded in BENCH_baseline.json
+// and gated by cmd/benchgate.
+func BenchmarkDes100kTimers(b *testing.B) {
+	const n = 100_000
+	handles := make([]Handle, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		fired := 0
+		fn := func() { fired++ }
+		for j := 0; j < n; j++ {
+			// Deterministic pseudo-scattered arming times.
+			t := float64(uint32(j)*2654435761%1_000_000) / 1000
+			handles[j] = e.At(t, fn)
+		}
+		for j := 0; j < n; j += 3 {
+			e.Reschedule(handles[j], float64(uint32(j)*40503%1_000_000)/500)
+		}
+		cancelled := 0
+		for j := 0; j < n; j += 7 {
+			if e.Cancel(handles[j]) {
+				cancelled++
+			}
+		}
+		e.Run()
+		if fired != n-cancelled {
+			b.Fatalf("fired %d of %d armed (%d cancelled)", fired, n, cancelled)
+		}
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -1,10 +1,69 @@
 package server
 
 import (
+	"net"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
+
+// BenchmarkServerSaturation is the daemon's concurrent-churn benchmark,
+// ioloadgen in miniature: every op is one full session lifecycle over a
+// real loopback TCP connection — dial + hello handshake, one I/O request,
+// the awaited grant, complete, bye — with GOMAXPROCS clients churning
+// concurrently. It reports sessions/s, the number the daemon can sustain
+// when a population connects, cycles and leaves at once; recorded in
+// BENCH_baseline.json and gated by cmd/benchgate on ns/op (the TCP path's
+// allocation count is scheduling-dependent, so allocs are not gated).
+func BenchmarkServerSaturation(b *testing.B) {
+	srv, err := New(Config{Policy: core.MaxSysEff(), TotalBW: 1 << 20, NodeBW: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // exits on Close
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	var ids atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := int(ids.Add(1))
+			c, err := Dial(addr, id, 4)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := c.RequestIO(10, 0.01, 0.02); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := c.WaitForBandwidth(10 * time.Second); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := c.CompleteIO(); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := c.Close(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "sessions/s")
+	}
+}
 
 // newDirectServer builds a daemon with n registered sessions, driven
 // through the internal message entry points (no sockets), so benchmarks

@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -44,18 +45,40 @@ type Config struct {
 // steady-state round — a progress report that changes no discrete
 // scheduler-visible state — therefore allocates nothing and pushes
 // nothing.
+// Locking is split into three domains so connection lifecycle traffic
+// does not serialize behind allocation rounds:
+//
+//   - lifeMu guards the listener and the live-connection set (shutdown
+//     bookkeeping); closed is an atomic flag readable from any domain.
+//   - reg, the sharded session registry (per-shard RWMutex), owns app-ID
+//     → session membership: handshakes and disconnects touch only their
+//     shard.
+//   - mu, the allocation-round lock, owns the candidate set, the
+//     decision memo, the push batch, the wake timer, the counters and
+//     every session's scheduler-visible state. Decision rounds stay
+//     single-threaded (and allocation-free) under it.
+//
+// Ordering: shard locks may be acquired while holding mu (Metrics,
+// Snapshot); mu is never acquired while holding a shard lock — the
+// decision round resolves grant targets by binary search over the
+// ID-sorted candidate slice instead of reaching into the registry.
+// lifeMu nests with neither.
 type Server struct {
 	cfg   Config
 	start time.Time
 
-	mu       sync.Mutex
-	sessions map[int]*session
+	lifeMu sync.Mutex
 	// conns tracks every live connection, including those still in the
 	// hello handshake, so Close can cut stalled reads immediately.
 	conns  map[net.Conn]struct{}
-	closed bool
 	ln     net.Listener
+	closed atomic.Bool
 	wg     sync.WaitGroup
+
+	// reg is the session registry, sharded by app-ID hash.
+	reg registry
+
+	mu sync.Mutex
 
 	// clock returns seconds since start; split from cfg.Now so tests can
 	// drive the decision path with exact float instants.
@@ -192,12 +215,12 @@ func New(cfg Config) (*Server, error) {
 		cfg.Now = time.Now
 	}
 	s := &Server{
-		cfg:      cfg,
-		start:    cfg.Now(),
-		sessions: make(map[int]*session),
-		conns:    make(map[net.Conn]struct{}),
-		caps:     core.CapsOf(cfg.Policy),
+		cfg:   cfg,
+		start: cfg.Now(),
+		conns: make(map[net.Conn]struct{}),
+		caps:  core.CapsOf(cfg.Policy),
 	}
+	s.reg.init()
 	s.clock = func() float64 { return cfg.Now().Sub(s.start).Seconds() }
 	return s, nil
 }
@@ -227,21 +250,18 @@ const helloTimeout = 10 * time.Second
 // — and which of two connections claiming the same app ID is the
 // duplicate — is the connection order, not goroutine scheduling.
 func (s *Server) Serve(ln net.Listener) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	s.lifeMu.Lock()
+	if s.closed.Load() {
+		s.lifeMu.Unlock()
 		return errors.New("server: already closed")
 	}
 	s.ln = ln
-	s.mu.Unlock()
+	s.lifeMu.Unlock()
 	var prev chan struct{}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			s.mu.Lock()
-			closed := s.closed
-			s.mu.Unlock()
-			if closed {
+			if s.closed.Load() {
 				return nil
 			}
 			return err
@@ -259,9 +279,9 @@ func (s *Server) Serve(ln net.Listener) error {
 // trackConn registers a live connection for Close; it reports false when
 // the server is already shutting down.
 func (s *Server) trackConn(conn net.Conn) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.closed.Load() {
 		return false
 	}
 	s.conns[conn] = struct{}{}
@@ -269,15 +289,15 @@ func (s *Server) trackConn(conn net.Conn) bool {
 }
 
 func (s *Server) untrackConn(conn net.Conn) {
-	s.mu.Lock()
+	s.lifeMu.Lock()
 	delete(s.conns, conn)
-	s.mu.Unlock()
+	s.lifeMu.Unlock()
 }
 
 // Addr returns the listen address (useful with ":0" in tests).
 func (s *Server) Addr() net.Addr {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
 	if s.ln == nil {
 		return nil
 	}
@@ -287,17 +307,18 @@ func (s *Server) Addr() net.Addr {
 // Close stops accepting, disconnects all applications and waits for the
 // connection handlers to drain.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	s.lifeMu.Lock()
+	if s.closed.Swap(true) {
+		s.lifeMu.Unlock()
 		return nil
 	}
-	s.closed = true
 	ln := s.ln
-	s.disarmWakeLocked()
 	for conn := range s.conns {
 		conn.Close()
 	}
+	s.lifeMu.Unlock()
+	s.mu.Lock()
+	s.disarmWakeLocked()
 	s.mu.Unlock()
 	var err error
 	if ln != nil {
@@ -360,7 +381,7 @@ func (s *Server) Metrics() Metrics {
 	}
 	return Metrics{
 		Policy:                 s.cfg.Policy.Name(),
-		Sessions:               len(s.sessions),
+		Sessions:               s.reg.count(),
 		Candidates:             len(s.candidates),
 		Rounds:                 s.rounds,
 		Decisions:              s.decisions,
@@ -477,17 +498,21 @@ func (s *Server) register(conn net.Conn, msg *Message) (*session, error) {
 	}
 	sess.outCond = sync.NewCond(&sess.outMu)
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	// Registry first, round lock second (never the reverse): the insert
+	// claims the app ID in its shard, then the allocation round below
+	// makes the session scheduler-visible. A Close racing this window
+	// already owns the connection (trackConn) and cuts it, so the
+	// handler's read loop unwinds through finish and deregisters.
+	if s.closed.Load() {
 		return nil, errors.New("server: shutting down")
 	}
-	if _, dup := s.sessions[msg.AppID]; dup {
+	if !s.reg.insert(msg.AppID, sess) {
 		return nil, fmt.Errorf("server: app id %d already connected", msg.AppID)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	sess.view.Release = s.now()
 	sess.view.LastIOEnd = sess.view.Release
-	s.sessions[msg.AppID] = sess
 	s.wg.Add(1)
 	go s.writeLoop(sess)
 	sess.enqueue(Message{Type: TypeWelcome, AppID: msg.AppID})
@@ -604,11 +629,10 @@ func (s *Server) completeLocked(sess *session) {
 // finish deregisters a session, rebalances the survivors and drains the
 // session's outbox so a final error message still reaches the client.
 func (s *Server) finish(sess *session) {
-	s.mu.Lock()
-	if cur, ok := s.sessions[sess.view.ID]; ok && cur == sess {
-		delete(s.sessions, sess.view.ID)
+	if s.reg.removeIf(sess.view.ID, sess) {
 		s.logf("app %d left", sess.view.ID)
 	}
+	s.mu.Lock()
 	s.candRemoveLocked(sess)
 	s.roundLocked("leave")
 	s.mu.Unlock()
@@ -635,6 +659,27 @@ func (s *Server) candRemoveLocked(sess *session) {
 	sess.cand = false
 	s.candidates = xsort.Remove(s.candidates, sess, sessLess)
 	s.candVersion++
+}
+
+// candByIDLocked returns the candidate session with the given app ID,
+// or nil. It binary-searches the ID-sorted candidate slice: the
+// decision round must not reach into the sharded registry (lock
+// ordering forbids shard → mu nesting, and grants can only target
+// candidates anyway) and must not allocate. Callers hold s.mu.
+func (s *Server) candByIDLocked(id int) *session {
+	lo, hi := 0, len(s.candidates)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.candidates[mid].view.ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.candidates) && s.candidates[lo].view.ID == id {
+		return s.candidates[lo]
+	}
+	return nil
 }
 
 // wantViewsLocked returns the candidate views in ID order, rebuilding the
@@ -774,7 +819,7 @@ func (s *Server) decideLocked(now float64, kind string) {
 	}
 	s.round++
 	for _, g := range grants {
-		if sess, ok := s.sessions[g.AppID]; ok && sess.cand {
+		if sess := s.candByIDLocked(g.AppID); sess != nil {
 			sess.grantRound = s.round
 			sess.grantBW = g.BW
 		}
@@ -865,7 +910,7 @@ func (s *Server) flushLocked() {
 // the candidate set is empty (a wake without candidates could only fire a
 // spurious round). Callers hold s.mu.
 func (s *Server) armWakeLocked(now float64) {
-	if s.caps.Waker == nil || s.closed {
+	if s.caps.Waker == nil || s.closed.Load() {
 		return
 	}
 	if len(s.candidates) == 0 {
@@ -904,7 +949,7 @@ func (s *Server) disarmWakeLocked() {
 // disarmed timer cannot fire a spurious one.
 func (s *Server) onWake() {
 	s.mu.Lock()
-	if s.closed || !s.wakeArmed {
+	if s.closed.Load() || !s.wakeArmed {
 		s.mu.Unlock()
 		return
 	}

@@ -268,26 +268,36 @@ func TestDisconnectRebalances(t *testing.T) {
 }
 
 // TestConcurrentStress runs many clients doing full compute/IO loops and
-// checks everybody finishes; run with -race to exercise the locking.
+// checks everybody finishes; run with -race to exercise the locking. The
+// first iteration starts from a barrier so all clients request at once —
+// demand 16 against capacity 10 — guaranteeing at least one congested
+// round actually invokes the policy (later iterations drift apart, so
+// without the barrier the decision count is timing-dependent).
 func TestConcurrentStress(t *testing.T) {
 	srv, addr := startServer(t, core.MinMax(0.5))
 	const clients = 8
 	const iters = 5
 	var wg sync.WaitGroup
 	errs := make(chan error, clients)
+	ready := make(chan struct{}, clients)
+	start := make(chan struct{})
 	for id := 1; id <= clients; id++ {
 		id := id
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			c, err := Dial(addr, id, 2)
+			ready <- struct{}{}
+			<-start
 			if err != nil {
 				errs <- err
 				return
 			}
 			defer c.Close()
 			for i := 0; i < iters; i++ {
-				time.Sleep(time.Duration(id) * time.Millisecond) // "compute"
+				if i > 0 {
+					time.Sleep(time.Duration(id) * time.Millisecond) // "compute"
+				}
 				if err := c.RequestIO(0.5, 0.01, 0.012); err != nil {
 					errs <- fmt.Errorf("app %d: %w", id, err)
 					return
@@ -304,6 +314,10 @@ func TestConcurrentStress(t *testing.T) {
 			}
 		}()
 	}
+	for i := 0; i < clients; i++ {
+		<-ready
+	}
+	close(start)
 	wg.Wait()
 	close(errs)
 	for err := range errs {

@@ -54,9 +54,11 @@ type SessionSnapshot struct {
 	Profile []PhaseSpec `json:"profile,omitempty"`
 }
 
-// Snapshot exports the daemon's current scheduling state under the state
-// lock: every view is from the same instant, so the snapshot is exactly
-// what the policy would see if a decision round ran now.
+// Snapshot exports the daemon's current scheduling state under the
+// allocation-round lock: every view is from the same instant, so the
+// snapshot is exactly what the policy would see if a decision round ran
+// now. Registry shards are read while holding the round lock (the
+// permitted nesting order); no round can mutate a view mid-capture.
 func (s *Server) Snapshot() *SystemSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -66,8 +68,7 @@ func (s *Server) Snapshot() *SystemSnapshot {
 		TotalBW: s.cfg.TotalBW,
 		NodeBW:  s.cfg.NodeBW,
 	}
-	snap.Apps = make([]SessionSnapshot, 0, len(s.sessions))
-	for _, sess := range s.sessions {
+	s.reg.forEach(func(sess *session) {
 		snap.Apps = append(snap.Apps, SessionSnapshot{
 			ID:            sess.view.ID,
 			Nodes:         sess.view.Nodes,
@@ -83,7 +84,7 @@ func (s *Server) Snapshot() *SystemSnapshot {
 			CreditedIdeal: sess.view.CreditedIdeal,
 			Profile:       append([]PhaseSpec(nil), sess.profile...),
 		})
-	}
+	})
 	// Ascending IDs: the deterministic order every consumer (the twin's
 	// conversion, JSON diffing) relies on.
 	for i := 1; i < len(snap.Apps); i++ {
@@ -104,7 +105,7 @@ func (s *Server) SetPolicy(p core.Scheduler) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return errors.New("server: closed")
 	}
 	if p.Name() == s.cfg.Policy.Name() {

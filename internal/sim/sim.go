@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"strings"
 
 	"repro/internal/bb"
@@ -124,9 +125,13 @@ type appState struct {
 	// left), or requesting.
 	timer des.Handle
 
-	// inActive/inCandidates track membership in the incremental lists.
-	inActive     bool
-	inCandidates bool
+	// activePos/candPos are the app's slots in the unordered membership
+	// sets (simulation.active / simulation.candidates), -1 when absent.
+	// Storing the position makes removal a swap with the last element —
+	// O(1) instead of the former O(population) memmove through a sorted
+	// slice, which dominated runs at 100k applications.
+	activePos int32
+	candPos   int32
 
 	// grantRound/grantBW communicate one decision's grant without a
 	// per-decision map: valid when grantRound equals the simulation's
@@ -169,9 +174,13 @@ func Run(cfg Config) (*Result, error) {
 }
 
 type simulation struct {
-	cfg  Config
-	p    *platform.Platform
-	apps []*appState
+	cfg Config
+	p   *platform.Platform
+	// apps is a flat arena, one slot per application in config order
+	// (dense app index). It is sized once and never reallocated, so
+	// interior pointers — timer closures, the byID map, the due list —
+	// stay valid for the life of the run.
+	apps []appState
 	byID map[int]*appState
 
 	eng des.Engine // deadline timers (release / compute end / request ready)
@@ -194,18 +203,29 @@ type simulation struct {
 	// unfinished counts apps not yet in the finished phase.
 	unfinished int
 
-	// active holds the transferring apps (doingIO with bw > 0), ascending
-	// by index: volume integration and completion-time minimization walk
-	// it instead of all apps, in the exact order the original loop
-	// visited them.
-	active []*appState
+	// active holds the app indices of the transferring set (doingIO with
+	// bw > 0), unordered: volume integration and completion-time
+	// minimization walk it instead of all apps, and both are
+	// order-independent (per-element updates and a strict-< minimum).
+	// The one consumer that needs index order — the burst-buffer inflow
+	// sum, whose accumulation order is observable in the goldens — reads
+	// the lazily sorted view below. activeVersion bumps on membership
+	// change and invalidates it.
+	active              []int32
+	activeVersion       uint64
+	activeSorted        []int32
+	activeSortedVersion uint64
 
-	// candidates holds the allocator-visible apps (doingIO, entered with
-	// more than volEps remaining), ascending by index. candVersion bumps
-	// on every membership change; want caches the views slice and is
-	// rebuilt when wantVersion falls behind.
-	candidates  []*appState
+	// candidates holds the app indices of the allocator-visible set
+	// (doingIO, entered with more than volEps remaining), unordered.
+	// candVersion bumps on every membership change (and on discrete view
+	// changes in applyGrant); it drives both the decision memo and the
+	// want cache. candSorted/want are the index-ordered view the
+	// scheduler sees, materialized only when a decision point actually
+	// reads it — memo and saturating skip rounds never pay the sort.
+	candidates  []int32
 	candVersion uint64
+	candSorted  []int32
 	want        []*core.AppView
 	wantVersion uint64
 
@@ -239,13 +259,18 @@ type simulation struct {
 
 func newSimulation(cfg Config) *simulation {
 	s := &simulation{cfg: cfg, p: cfg.Platform}
+	s.apps = make([]appState, len(cfg.Apps))
 	s.byID = make(map[int]*appState, len(cfg.Apps))
+	arms := make([]des.Arm, len(cfg.Apps))
 	for i, a := range cfg.Apps {
-		st := &appState{
-			app:   a,
-			index: i,
-			phase: notReleased,
-			until: a.Release,
+		st := &s.apps[i]
+		*st = appState{
+			app:       a,
+			index:     i,
+			phase:     notReleased,
+			until:     a.Release,
+			activePos: -1,
+			candPos:   -1,
 			view: core.AppView{
 				ID:        a.ID,
 				Nodes:     a.Nodes,
@@ -254,9 +279,15 @@ func newSimulation(cfg Config) *simulation {
 				LastIOEnd: a.Release,
 			},
 		}
-		st.timer = s.eng.At(a.Release, func() { s.due = append(s.due, st) })
-		s.apps = append(s.apps, st)
+		arms[i] = des.Arm{At: a.Release, Fn: func() { s.due = append(s.due, st) }}
 		s.byID[a.ID] = st
+	}
+	// Bulk-arm the release timers: sequence numbers are assigned in app
+	// order exactly as the former per-app At loop did, so same-instant
+	// releases fire identically; the events land in one block and one
+	// O(n) heapify instead of n sifts.
+	for i, h := range s.eng.ArmAll(arms) {
+		s.apps[i].timer = h
 	}
 	s.unfinished = len(s.apps)
 	s.finishSetup()
@@ -343,8 +374,8 @@ func (s *simulation) loop(stopAt float64) (bool, error) {
 
 func (s *simulation) eventBudget() int {
 	n := 0
-	for _, st := range s.apps {
-		n += len(st.app.Instances)
+	for i := range s.apps {
+		n += len(s.apps[i].app.Instances)
 	}
 	// Each instance causes a bounded number of events directly, but every
 	// event can preempt every other application, so the budget is
@@ -360,7 +391,8 @@ func (s *simulation) eventBudget() int {
 // (everything transferring) straight from the logs.
 func (s *simulation) census() string {
 	var rel, comp, req, pend, xfer, fin int
-	for _, st := range s.apps {
+	for i := range s.apps {
+		st := &s.apps[i]
 		switch st.phase {
 		case notReleased:
 			rel++
@@ -382,61 +414,83 @@ func (s *simulation) census() string {
 		rel, comp, req, pend, xfer, fin)
 }
 
-// --- incremental list maintenance -----------------------------------------
+// --- incremental set maintenance ------------------------------------------
+//
+// The active and candidate sets are unordered index slices with O(1)
+// add (append) and O(1) remove (swap with the last element); each app
+// stores its slot so no search is needed. Order-sensitive consumers —
+// the scheduler's view slice and the burst-buffer inflow sum — read
+// lazily materialized sorted copies instead, so membership churn never
+// pays more than constant time and skip rounds never pay the sort.
 
 func byIndex(a, b *appState) bool { return a.index < b.index }
 
-// insertByIndex inserts st into the index-ordered list.
-func insertByIndex(list []*appState, st *appState) []*appState {
-	return xsort.Insert(list, st, byIndex)
-}
-
-// removeByIndex removes st from the index-ordered list.
-func removeByIndex(list []*appState, st *appState) []*appState {
-	return xsort.Remove(list, st, byIndex)
-}
-
 func (s *simulation) activeAdd(st *appState) {
-	if st.inActive {
+	if st.activePos >= 0 {
 		return
 	}
-	st.inActive = true
-	s.active = insertByIndex(s.active, st)
+	st.activePos = int32(len(s.active))
+	s.active = append(s.active, int32(st.index))
+	s.activeVersion++
 }
 
 func (s *simulation) activeRemove(st *appState) {
-	if !st.inActive {
+	if st.activePos < 0 {
 		return
 	}
-	st.inActive = false
-	s.active = removeByIndex(s.active, st)
+	i, n := st.activePos, len(s.active)-1
+	moved := s.active[n]
+	s.active[i] = moved
+	s.apps[moved].activePos = i
+	s.active = s.active[:n]
+	st.activePos = -1
+	s.activeVersion++
 }
 
 func (s *simulation) candAdd(st *appState) {
-	if st.inCandidates {
+	if st.candPos >= 0 {
 		return
 	}
-	st.inCandidates = true
-	s.candidates = insertByIndex(s.candidates, st)
+	st.candPos = int32(len(s.candidates))
+	s.candidates = append(s.candidates, int32(st.index))
 	s.candVersion++
 }
 
 func (s *simulation) candRemove(st *appState) {
-	if !st.inCandidates {
+	if st.candPos < 0 {
 		return
 	}
-	st.inCandidates = false
-	s.candidates = removeByIndex(s.candidates, st)
+	i, n := st.candPos, len(s.candidates)-1
+	moved := s.candidates[n]
+	s.candidates[i] = moved
+	s.apps[moved].candPos = i
+	s.candidates = s.candidates[:n]
+	st.candPos = -1
 	s.candVersion++
 }
 
-// wantViews returns the candidate views in index order, rebuilding the
-// cached slice only when the candidate set changed.
+// sortedActive returns the transferring set ascending by app index,
+// rebuilt only when membership changed. It exists for the burst-buffer
+// inflow sum, whose floating-point accumulation order is observable.
+func (s *simulation) sortedActive() []int32 {
+	if s.activeSortedVersion != s.activeVersion || s.activeSorted == nil {
+		s.activeSorted = append(s.activeSorted[:0], s.active...)
+		slices.Sort(s.activeSorted)
+		s.activeSortedVersion = s.activeVersion
+	}
+	return s.activeSorted
+}
+
+// wantViews returns the candidate views in index order, sorting and
+// rebuilding the cached slice only when the candidate set changed since
+// the last decision point that read it.
 func (s *simulation) wantViews() []*core.AppView {
 	if s.wantVersion != s.candVersion || s.want == nil {
+		s.candSorted = append(s.candSorted[:0], s.candidates...)
+		slices.Sort(s.candSorted)
 		s.want = s.want[:0]
-		for _, st := range s.candidates {
-			s.want = append(s.want, &st.view)
+		for _, i := range s.candSorted {
+			s.want = append(s.want, &s.apps[i].view)
 		}
 		s.wantVersion = s.candVersion
 	}
@@ -531,7 +585,10 @@ func (s *simulation) completeInstance(st *appState) {
 // wake-up.
 func (s *simulation) nextEventTime() float64 {
 	next := s.eng.Peek()
-	for _, st := range s.active {
+	// Set order is irrelevant here: a strict-< minimum over the
+	// transferring set yields the same value in any order.
+	for _, i := range s.active {
+		st := &s.apps[i]
 		t := s.now + st.view.RemVolume/st.bw
 		if t < next {
 			next = t
@@ -570,11 +627,13 @@ func (s *simulation) bbFillTime() (float64, bool) {
 
 // inflow returns the aggregate granted write bandwidth. Summing the
 // transferring set in index order reproduces the original all-apps sum
-// bit for bit: pending apps contributed exact zeros.
+// bit for bit: pending apps contributed exact zeros, and floating-point
+// addition is order-sensitive, so this is the one active-set walk that
+// must read the sorted view.
 func (s *simulation) inflow() float64 {
 	total := 0.0
-	for _, st := range s.active {
-		total += st.bw
+	for _, i := range s.sortedActive() {
+		total += s.apps[i].bw
 	}
 	return total
 }
@@ -586,7 +645,8 @@ func (s *simulation) advanceTo(t float64) {
 		panic(fmt.Sprintf("sim: time going backwards: %g -> %g", s.now, t))
 	}
 	if tr := s.cfg.Trace; tr != nil && dt > 0 {
-		for _, st := range s.apps {
+		for i := range s.apps {
+			st := &s.apps[i]
 			if st.phase == notReleased || st.phase == finished {
 				continue
 			}
@@ -601,7 +661,9 @@ func (s *simulation) advanceTo(t float64) {
 			tr.record(st.app.ID, s.now, t, phase, st.bw)
 		}
 	}
-	for _, st := range s.active {
+	// Per-element decrements: safe over the unordered set.
+	for _, i := range s.active {
+		st := &s.apps[i]
 		st.view.RemVolume -= st.bw * dt
 		if st.view.RemVolume < 0 {
 			st.view.RemVolume = 0
@@ -625,7 +687,11 @@ func (s *simulation) fireDue() {
 	for s.eng.StepDue(s.now + timeEps) {
 		// each fired timer appends its app to s.due
 	}
-	for _, st := range s.active {
+	// Scan order over the unordered set is irrelevant: the batch is
+	// sorted by index below, and indices are unique, so the firing order
+	// is fully determined regardless of how the batch was gathered.
+	for _, i := range s.active {
+		st := &s.apps[i]
 		if st.view.RemVolume <= volEps {
 			s.due = append(s.due, st)
 		}
@@ -702,7 +768,7 @@ func (s *simulation) decide() {
 	// decision time — the expressions below mirror GreedyAllocate's bit
 	// for bit.
 	if s.caps.SingleFullGrant && len(s.candidates) == 1 {
-		st := s.candidates[0]
+		st := &s.apps[s.candidates[0]]
 		bw := float64(st.view.Nodes) * cap.NodeBW
 		if bw > cap.TotalBW {
 			bw = cap.TotalBW
@@ -731,24 +797,30 @@ func (s *simulation) decide() {
 	// Saturating fast path: when total demand fits the capacity with a
 	// relative margin that dwarfs greedy summation rounding, a
 	// Saturating policy grants every candidate exactly β·b whatever its
-	// internal order — apply that outcome directly.
+	// internal order — apply that outcome directly. The same margin is
+	// what lets the sum run over the unordered set: any accumulation
+	// order lands on the same side of the threshold, so skip rounds
+	// never materialize the sorted view.
 	if s.caps.Saturating {
 		demand := 0.0
-		for _, st := range s.candidates {
-			demand += float64(st.view.Nodes) * cap.NodeBW
+		for _, i := range s.candidates {
+			demand += float64(s.apps[i].view.Nodes) * cap.NodeBW
 		}
 		if demand <= cap.TotalBW*(1-1e-9) {
 			var apps []dectrace.AppRecord
 			var grants []dectrace.GrantRecord
 			if s.cfg.DecisionTrace != nil {
+				// Trace records are order-sensitive artifacts: capture
+				// apps and grants from the sorted view.
 				apps = dectrace.CaptureApps(nil, s.wantViews())
-				for _, st := range s.candidates {
+				for _, v := range s.want {
 					grants = append(grants, dectrace.GrantRecord{
-						ID: st.view.ID, BW: float64(st.view.Nodes) * cap.NodeBW,
+						ID: v.ID, BW: float64(v.Nodes) * cap.NodeBW,
 					})
 				}
 			}
-			for _, st := range s.candidates {
+			for _, i := range s.candidates {
+				st := &s.apps[i]
 				s.applyGrant(st, float64(st.view.Nodes)*cap.NodeBW)
 			}
 			s.skipped++
@@ -792,7 +864,10 @@ func (s *simulation) decide() {
 			st.grantBW = g.BW
 		}
 	}
-	for _, st := range s.candidates {
+	// applyGrant touches only per-app state and O(1) set membership, so
+	// the unordered walk is equivalent to the former sorted one.
+	for _, i := range s.candidates {
+		st := &s.apps[i]
 		bw := 0.0
 		if st.grantRound == s.round {
 			bw = st.grantBW
@@ -909,7 +984,8 @@ func (s *simulation) collect() *Result {
 		res.BBPeakLevel = s.buffer.Peak()
 		res.BBFullTime = s.buffer.FullTime()
 	}
-	for _, st := range s.apps {
+	for i := range s.apps {
+		st := &s.apps[i]
 		res.Apps = append(res.Apps, metrics.AppPerf{
 			ID:        st.app.ID,
 			Name:      st.app.Name,

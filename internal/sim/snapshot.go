@@ -219,7 +219,8 @@ func (s *simulation) snapshot() *Snapshot {
 		}
 	}
 	snap.Apps = make([]AppState, len(s.apps))
-	for i, st := range s.apps {
+	for i := range s.apps {
+		st := &s.apps[i]
 		as := AppState{
 			ID:            st.app.ID,
 			Instance:      st.idx,
@@ -278,6 +279,7 @@ func newSimulationFromSnapshot(cfg Config, snap *Snapshot) (*simulation, error) 
 	}
 
 	s := &simulation{cfg: cfg, p: cfg.Platform, now: snap.Time}
+	s.apps = make([]appState, len(cfg.Apps))
 	s.byID = make(map[int]*appState, len(cfg.Apps))
 	s.events = snap.Events
 	s.decisions = snap.Decisions
@@ -290,15 +292,18 @@ func newSimulationFromSnapshot(cfg Config, snap *Snapshot) (*simulation, error) 
 		if !ok {
 			return nil, fmt.Errorf("sim: snapshot has no state for app %d", a.ID)
 		}
-		st := &appState{
-			app:     a,
-			index:   i,
-			idx:     as.Instance,
-			until:   as.Until,
-			bw:      as.BW,
-			ioStart: as.IOStart,
-			ioTime:  as.IOTime,
-			finish:  as.Finish,
+		st := &s.apps[i]
+		*st = appState{
+			app:       a,
+			index:     i,
+			idx:       as.Instance,
+			until:     as.Until,
+			bw:        as.BW,
+			ioStart:   as.IOStart,
+			ioTime:    as.IOTime,
+			finish:    as.Finish,
+			activePos: -1,
+			candPos:   -1,
 			view: core.AppView{
 				ID:            a.ID,
 				Nodes:         a.Nodes,
@@ -357,13 +362,15 @@ func newSimulationFromSnapshot(cfg Config, snap *Snapshot) (*simulation, error) 
 		default:
 			return nil, fmt.Errorf("sim: app %d has unknown phase %q", a.ID, as.Phase)
 		}
-		s.apps = append(s.apps, st)
 		s.byID[a.ID] = st
 	}
 
-	// Rebuild the incremental lists in index order — the order every
-	// capture-side list was in, since insertByIndex keeps them sorted.
-	for _, st := range s.apps {
+	// Rebuild the membership sets in index order. The sets themselves
+	// are unordered now; rebuilding in index order just keeps the
+	// candVersion bump count deterministic and the first sorted-view
+	// materialization cheap (already sorted input).
+	for i := range s.apps {
+		st := &s.apps[i]
 		if st.phase != doingIO {
 			continue
 		}
