@@ -156,6 +156,53 @@ func BenchmarkFig6aTraced(b *testing.B) {
 	b.ReportMetric(float64(points), "points/run")
 }
 
+// BenchmarkFig6aTelemetry prices the telemetry layer on the fig6a cell:
+// the "on" variant attaches a probe with a bounded ring (MinInterval 0,
+// so every event instant is sampled — the worst case), the "off" variant
+// runs the identical simulation with a nil probe. "off" must match the
+// untelemetered cell baseline within the benchgate tolerance — that is
+// the enforced form of the "disabled telemetry is free" claim — and "on"
+// must stay allocation-identical to "off" once the ring is warm (the
+// probe is reused across iterations, so the ring allocates only on the
+// first run).
+func BenchmarkFig6aTelemetry(b *testing.B) {
+	wcfg := iosched.Fig6Workload(iosched.Fig6A, 7)
+	apps, err := iosched.GenerateWorkload(wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := iosched.MaxSysEff()
+	run := func(b *testing.B, probe *iosched.TelemetryProbe) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var points int
+		for i := 0; i < b.N; i++ {
+			res, err := iosched.Simulate(iosched.SimConfig{
+				Platform:  wcfg.Platform.WithoutBB(),
+				Scheduler: sched,
+				Apps:      apps,
+				Telemetry: probe,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if probe != nil {
+				points = len(res.Telemetry.Points)
+			}
+		}
+		if probe != nil {
+			b.ReportMetric(float64(points), "points/run")
+		}
+	}
+	b.Run("on", func(b *testing.B) {
+		run(b, &iosched.TelemetryProbe{MaxPoints: 4096})
+	})
+	b.Run("off", func(b *testing.B) {
+		run(b, nil)
+	})
+}
+
 // population100k builds the scaled synthetic population behind
 // BenchmarkFig6a100k: the fig6a periodic shape (compute phase, then one
 // bulk write) pushed three orders of magnitude past the paper's Figure 6

@@ -14,6 +14,10 @@
 // and repeats. With -ramp the clients connect spread evenly over that
 // window instead of all at once, so a deployment can be sized under a
 // gradual arrival curve rather than a thundering herd.
+//
+// Every client times request-to-grant into its own lock-free
+// telemetry.Histogram; the final report merges them and prints the
+// mean/p50/p95/p99 grant latency alongside the throughput numbers.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -77,9 +82,18 @@ func main() {
 		grants   atomic.Int64
 		failures atomic.Int64
 	)
+	// Per-client grant-latency histograms (request sent → nonzero grant
+	// received): each goroutine observes into its own lock-free histogram
+	// and the snapshots merge exactly, so the report's quantiles cover
+	// every cycle without cross-client contention.
+	hists := make([]*telemetry.Histogram, *clients)
+	for i := range hists {
+		hists[i] = telemetry.NewHistogram()
+	}
 	start := time.Now()
 	for id := 1; id <= *clients; id++ {
 		id := id
+		hist := hists[id-1]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -103,6 +117,7 @@ func main() {
 				time.Sleep(*compute)
 				work := compute.Seconds()
 				ideal := work + *volume/(float64(*nodes)*(*nodeBW))
+				reqStart := time.Now()
 				if err := c.RequestIO(*volume, work, ideal); err != nil {
 					fmt.Fprintf(os.Stderr, "ioloadgen: app %d: %v\n", id, err)
 					failures.Add(1)
@@ -113,6 +128,7 @@ func main() {
 					failures.Add(1)
 					return
 				}
+				hist.ObserveDuration(time.Since(reqStart))
 				for p := 1; p <= *progress; p++ {
 					time.Sleep(*transfer / time.Duration(*progress+1))
 					rem := *volume * (1 - float64(p)/float64(*progress+1))
@@ -141,6 +157,17 @@ func main() {
 	fmt.Printf("wall time       %10.2f s\n", elapsed.Seconds())
 	fmt.Printf("cycle rate      %10.0f cycles/s\n", float64(cycles.Load())/elapsed.Seconds())
 	fmt.Printf("grants applied  %10d\n", grants.Load())
+	merged := telemetry.HistogramSnapshot{}
+	for _, h := range hists {
+		merged = merged.Merge(h.Snapshot())
+	}
+	if merged.Count > 0 {
+		fmt.Printf("\ngrant latency over %d requests (request sent -> nonzero grant):\n", merged.Count)
+		fmt.Printf("  mean          %10.3f ms\n", 1e3*merged.Mean())
+		fmt.Printf("  p50           %10.3f ms\n", 1e3*merged.Quantile(0.50))
+		fmt.Printf("  p95           %10.3f ms\n", 1e3*merged.Quantile(0.95))
+		fmt.Printf("  p99           %10.3f ms\n", 1e3*merged.Quantile(0.99))
+	}
 	if embedded != nil {
 		m := embedded.Metrics()
 		fmt.Printf("\ndaemon metrics (%s):\n", m.Policy)

@@ -34,6 +34,14 @@
 //	ioschedd -listen :9449 -machine intrepid -metrics :9450 \
 //	         -dectrace 512 -dectrace-file decisions.jsonl
 //	curl http://localhost:9450/dectrace
+//
+// A bounded telemetry probe (internal/telemetry) is attached by default:
+// every allocation round samples the congestion signals into a ring of
+// -telemetry-points entries and times the service paths into latency
+// histograms. The series is served as JSON at /telemetry and — together
+// with the live gauges — in Prometheus text format at /metrics.prom;
+// -telemetry-points 0 disables the probe, leaving the round path exactly
+// as free as before (see docs/observability.md).
 package main
 
 import (
@@ -56,6 +64,7 @@ import (
 	"repro/internal/dectrace"
 	"repro/internal/platform"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 	"repro/internal/twin"
 )
 
@@ -79,6 +88,9 @@ func main() {
 
 		dectraceN    = flag.Int("dectrace", 0, "keep the last N decision records in memory and serve them at /dectrace (0 disables)")
 		dectraceFile = flag.String("dectrace-file", "", "append every decision record to this JSONL file")
+
+		telPoints   = flag.Int("telemetry-points", 4096, "telemetry ring size: congestion samples kept for /telemetry (0 disables the probe and its latency histograms)")
+		telInterval = flag.Duration("telemetry-interval", 0, "minimum spacing between telemetry samples (0 samples every round)")
 	)
 	flag.Parse()
 
@@ -140,12 +152,21 @@ func main() {
 		sink = sinks
 	}
 
+	var probe *telemetry.Probe
+	if *telPoints > 0 {
+		probe = &telemetry.Probe{
+			MinInterval: telInterval.Seconds(),
+			MaxPoints:   *telPoints,
+		}
+	}
+
 	srv, err := server.New(server.Config{
 		Policy:        pol,
 		TotalBW:       B,
 		NodeBW:        b,
 		Logger:        logger,
 		DecisionTrace: sink,
+		Telemetry:     probe,
 	})
 	if err != nil {
 		fatal(err)
@@ -224,6 +245,19 @@ func main() {
 				"records": ring.Records(),
 			}, true
 		})
+		serveJSON("/telemetry", func() (any, bool) {
+			if probe == nil {
+				return nil, false
+			}
+			return probe.Snapshot(), true
+		})
+		// Prometheus text exposition next to the JSON endpoints: the live
+		// congestion gauges always, the latency histograms when the
+		// telemetry probe is on.
+		mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			srv.WritePrometheus(w) //nolint:errcheck // best-effort HTTP reply
+		})
 		// Live profiling rides on the metrics endpoint: the daemon can be
 		// profiled under production load without a restart (see
 		// docs/performance.md). Deliberately on the operator-facing
@@ -234,7 +268,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go http.Serve(mln, mux) //nolint:errcheck // exits with the process
-		fmt.Fprintf(os.Stderr, "ioschedd: metrics on http://%s/metrics (/healthz, /snapshot, /forecast, /debug/pprof)\n", mln.Addr())
+		fmt.Fprintf(os.Stderr, "ioschedd: metrics on http://%s/metrics (/metrics.prom, /healthz, /snapshot, /forecast, /telemetry, /debug/pprof)\n", mln.Addr())
 	}
 
 	// SIGTERM must take the same graceful path as ^C: the deferred

@@ -14,6 +14,14 @@
 //
 //	iosim -run fig6a -cpuprofile cpu.out
 //	go tool pprof cpu.out
+//
+// With -telemetry, iosim runs one replicate of a paper scenario with a
+// telemetry probe attached (internal/telemetry) and dumps the congestion
+// time series — utilization, backlog, candidate count, Jain fairness,
+// stretch — to stdout as CSV or JSON (see docs/observability.md):
+//
+//	iosim -telemetry fig6a -telemetry-policy Priority-MaxSysEff > series.csv
+//	iosim -telemetry fig6b -telemetry-format json | jq .aggregates
 package main
 
 import (
@@ -39,8 +47,22 @@ func main() {
 		csvDir     = flag.String("csv", "", "directory to write CSV exports into")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
+
+		telemetry       = flag.String("telemetry", "", "dump the congestion time series of one scenario replicate (fig6a, fig6b, fig6c) to stdout")
+		telemetryPolicy = flag.String("telemetry-policy", "MaxSysEff", "policy for the -telemetry run")
+		telemetrySample = flag.Float64("telemetry-sample", 0, "minimum simulated seconds between -telemetry samples (0 samples every decision point)")
+		telemetryFormat = flag.String("telemetry-format", "csv", "-telemetry output format: csv or json")
 	)
 	flag.Parse()
+
+	if *telemetry != "" {
+		err := runTelemetryDump(*telemetry, *telemetryPolicy, *seed, *telemetrySample, *telemetryFormat, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iosim: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")

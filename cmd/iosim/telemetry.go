@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// telemetryScenarios maps the -telemetry argument to a Figure 6 panel.
+var telemetryScenarios = map[string]workload.Fig6Kind{
+	"fig6a": workload.Fig6A,
+	"fig6b": workload.Fig6B,
+	"fig6c": workload.Fig6C,
+}
+
+// runTelemetryDump simulates one replicate of a paper scenario with a
+// telemetry probe attached and writes the congestion time series to w:
+// one CSV row per sample (format "csv"), or the full snapshot — points,
+// histograms and the full-run series aggregates — as JSON.
+func runTelemetryDump(scenario, policy string, seed int64, sampleS float64, format string, w io.Writer) error {
+	kind, ok := telemetryScenarios[scenario]
+	if !ok {
+		return fmt.Errorf("unknown telemetry scenario %q (have fig6a, fig6b, fig6c)", scenario)
+	}
+	pol, err := core.ByName(policy)
+	if err != nil {
+		return err
+	}
+	cfg := workload.Fig6Config(kind, seed)
+	apps, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	probe := &telemetry.Probe{MinInterval: sampleS}
+	res, err := sim.Run(sim.Config{
+		Platform:  cfg.Platform,
+		Scheduler: pol,
+		Apps:      apps,
+		Telemetry: probe,
+	})
+	if err != nil {
+		return err
+	}
+
+	switch format {
+	case "csv":
+		return writeTelemetryCSV(w, res.Telemetry)
+	case "json":
+		full := telemetry.Window{Start: res.Telemetry.Points[0].Time, End: res.Summary.Makespan}
+		aggs := make(map[string]telemetry.SeriesStats, len(telemetry.SeriesNames()))
+		for _, name := range telemetry.SeriesNames() {
+			s, err := res.Telemetry.Aggregate(name, full)
+			if err != nil {
+				return err
+			}
+			aggs[name] = s
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Scenario   string                           `json:"scenario"`
+			Policy     string                           `json:"policy"`
+			Seed       int64                            `json:"seed"`
+			Summary    any                              `json:"summary"`
+			Aggregates map[string]telemetry.SeriesStats `json:"aggregates"`
+			Telemetry  *telemetry.Telemetry             `json:"telemetry"`
+		}{scenario, pol.Name(), seed, res.Summary, aggs, res.Telemetry})
+	default:
+		return fmt.Errorf("unknown telemetry format %q (have csv, json)", format)
+	}
+}
+
+// writeTelemetryCSV renders the point series as CSV, one column per
+// series in telemetry.SeriesNames order.
+func writeTelemetryCSV(w io.Writer, tel *telemetry.Telemetry) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"t"}, telemetry.SeriesNames()...)); err != nil {
+		return err
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, pt := range tel.Points {
+		// Column order matches telemetry.SeriesNames.
+		row := []string{
+			g(pt.Time), g(pt.Utilization), g(pt.Backlog), strconv.Itoa(pt.Candidates),
+			g(pt.BBLevel), g(pt.Jain), g(pt.MaxStretch), g(pt.MeanStretch),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -26,6 +26,13 @@
 //
 //	iotwin -scenario fig6a -seed 7 -policy fair-share -at 1000 \
 //	       -explain -topk 5 -max-points 24
+//
+// With -sparkline, the forecast table is followed by an ASCII panel of
+// telemetry sparklines (internal/telemetry): the congestion series
+// observed up to the snapshot instant, against the series each candidate
+// policy is forecast to produce from it (see docs/observability.md):
+//
+//	iotwin -scenario fig6a -at 2000 -policies MaxSysEff,fair-share -sparkline
 package main
 
 import (
@@ -62,6 +69,9 @@ func main() {
 		explain   = flag.Bool("explain", false, "counterfactual replay: rank the costliest decisions from the snapshot forward instead of forecasting")
 		topK      = flag.Int("topk", 5, "how many costliest decisions to report (-explain)")
 		maxPoints = flag.Int("max-points", 32, "how many recorded decision points to fork (-explain)")
+
+		sparkline  = flag.Bool("sparkline", false, "append an ASCII sparkline panel: observed congestion series up to the snapshot vs each policy's forecast series")
+		sparkWidth = flag.Int("spark-width", 64, "sparkline width in characters")
 	)
 	flag.Parse()
 
@@ -129,6 +139,13 @@ func main() {
 				fmt.Printf("    app %-4d %-12s %5d nodes  finish %10.1f  stretch %7.3f  done %v\n",
 					a.ID, a.Name, a.Nodes, a.Finish, a.Stretch, a.Done)
 			}
+		}
+	}
+
+	if *sparkline {
+		err := renderSparklines(p, apps, snap, *policy, panel, *horizon, *sparkWidth, *scenario != "", os.Stdout)
+		if err != nil {
+			fatal(err)
 		}
 	}
 }

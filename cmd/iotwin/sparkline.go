@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// sparkSeries is the subset of telemetry series the panel renders.
+var sparkSeries = []string{"util", "backlog", "candidates", "max_stretch"}
+
+// renderSparklines prints the forecast-vs-observed telemetry panel: the
+// congestion series of the history leading up to the snapshot (scenario
+// mode only — a daemon snapshot carries no history), then the series
+// each candidate policy is forecast to produce from the snapshot
+// forward. Every run re-simulates with a telemetry probe attached, so
+// the panel costs one extra simulation per row block.
+func renderSparklines(p *platform.Platform, apps []*platform.App, snap *sim.Snapshot, incumbent string, panel []string, horizon float64, width int, haveHistory bool, w io.Writer) error {
+	if haveHistory {
+		sched, err := core.ByName(incumbent)
+		if err != nil {
+			return err
+		}
+		probe := &telemetry.Probe{}
+		_, err = sim.RunToSnapshot(sim.Config{
+			Platform: p, Scheduler: sched, Apps: apps, Telemetry: probe,
+		}, snap.Time)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nobserved under %s over [0, %.1f]:\n", sched.Name(), snap.Time)
+		writeSparkBlock(w, probe.Snapshot(), width)
+	} else {
+		fmt.Fprintf(w, "\n(no observed series: a daemon snapshot carries no history)\n")
+	}
+
+	until := math.Inf(1)
+	untilLabel := "completion"
+	if horizon > 0 {
+		until = snap.Time + horizon
+		untilLabel = fmt.Sprintf("t=%.1f", until)
+	}
+	for _, name := range panel {
+		sched, err := core.ByName(name)
+		if err != nil {
+			return err
+		}
+		s := snap.Clone()
+		// Same what-if semantics as twin.Forecast: the candidate re-shares
+		// bandwidth at the resume instant instead of inheriting the
+		// incumbent's grants.
+		s.RedecideOnResume = true
+		probe := &telemetry.Probe{}
+		_, err = sim.ResumeToSnapshot(sim.Config{
+			Platform: p, Scheduler: sched, Apps: apps, Telemetry: probe,
+		}, s, until)
+		if err != nil {
+			fmt.Fprintf(w, "\nforecast under %s: FAILED: %v\n", sched.Name(), err)
+			continue
+		}
+		fmt.Fprintf(w, "\nforecast under %s from t=%.1f to %s:\n", sched.Name(), snap.Time, untilLabel)
+		writeSparkBlock(w, probe.Snapshot(), width)
+	}
+	return nil
+}
+
+// writeSparkBlock renders one probe snapshot as per-series sparklines
+// with their value range.
+func writeSparkBlock(w io.Writer, tel *telemetry.Telemetry, width int) {
+	full := telemetry.Window{Start: math.Inf(-1), End: math.Inf(1)}
+	for _, name := range sparkSeries {
+		vals := tel.Values(name, full)
+		if len(vals) == 0 {
+			fmt.Fprintf(w, "  %-12s (no samples)\n", name)
+			continue
+		}
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals[1:] {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		fmt.Fprintf(w, "  %-12s %s  [%.3g, %.3g] over %d samples\n",
+			name, telemetry.Sparkline(vals, width), lo, hi, len(vals))
+	}
+}

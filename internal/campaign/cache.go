@@ -40,6 +40,11 @@ type CellResult struct {
 	BBFullTime  float64 `json:"bb_full_s,omitempty"`
 
 	Summary metrics.Summary `json:"summary"`
+
+	// Telemetry summarizes the cell's congestion time series; present
+	// only when the campaign enabled sampling (SimOptions.TelemetrySampleS
+	// > 0).
+	Telemetry *TelemetrySummary `json:"telemetry,omitempty"`
 }
 
 // Cache is a content-addressed on-disk result store. Entries live at

@@ -136,6 +136,7 @@ func TestCellKeySensitivity(t *testing.T) {
 		func(s *Spec) { s.Platforms[0].TotalBW = 30 },
 		func(s *Spec) { s.Seeds.Start = 43 },
 		func(s *Spec) { s.Sim.RequestLatencyS = 0.01 },
+		func(s *Spec) { s.Sim.TelemetrySampleS = 5 },
 	}
 	for i, mutate := range mutations {
 		s := testSpec()
@@ -160,11 +161,11 @@ func TestCellKeySensitivity(t *testing.T) {
 	}
 
 	// The engine version participates in every key: bumping it (as the
-	// iosched-sim/5 skip-breakdown change did) must invalidate every
-	// cached cell, and the current tag must be the v5 one this tree's
-	// CellResult schema requires.
-	if engineVersion != "iosched-sim/5" {
-		t.Errorf("engineVersion = %q, want iosched-sim/5 (skip breakdown in CellResult)", engineVersion)
+	// iosched-sim/6 telemetry change did) must invalidate every cached
+	// cell, and the current tag must be the v6 one this tree's CellResult
+	// schema requires.
+	if engineVersion != "iosched-sim/6" {
+		t.Errorf("engineVersion = %q, want iosched-sim/6 (telemetry summary in CellResult)", engineVersion)
 	}
 	p, err := base.Platforms[0].resolve()
 	if err != nil {
@@ -577,5 +578,79 @@ func TestInterruptedRunLeavesResumableState(t *testing.T) {
 	}
 	if st.Cells != 18 || st.Completed != 18 {
 		t.Errorf("state after recovery = %+v", st)
+	}
+}
+
+// TestCellResultRecordsTelemetry pins the iosched-sim/6 schema change: a
+// telemetry-enabled spec produces a windowed congestion summary on every
+// cell, with internally consistent values, and the summary survives the
+// cache round trip byte for byte.
+func TestCellResultRecordsTelemetry(t *testing.T) {
+	spec := testSpec()
+	spec.Name = "telemetry-sweep"
+	spec.Schedulers = []string{"fair-share"}
+	spec.Seeds = SeedRange{Start: 42, Count: 1}
+	spec.Sim.TelemetrySampleS = 10
+
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := (&Runner{Spec: spec, Cache: cache}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		tel := c.Telemetry
+		if tel == nil {
+			t.Fatalf("cell %s: telemetry enabled but no summary recorded", c.Key)
+		}
+		if tel.Samples == 0 {
+			t.Errorf("cell %s: zero telemetry samples", c.Key)
+		}
+		if tel.UtilMean < 0 || tel.UtilMean > 1 || tel.UtilP99 < tel.UtilMean {
+			t.Errorf("cell %s: implausible utilization mean %g / p99 %g", c.Key, tel.UtilMean, tel.UtilP99)
+		}
+		if tel.JainMean <= 0 || tel.JainMean > 1 {
+			t.Errorf("cell %s: Jain mean %g outside (0,1]", c.Key, tel.JainMean)
+		}
+		if tel.StretchP99 < 1 {
+			t.Errorf("cell %s: stretch p99 %g < 1", c.Key, tel.StretchP99)
+		}
+		if tel.SteadyWindow.Start != 0.1*c.Summary.Makespan || tel.SteadyWindow.End != 0.9*c.Summary.Makespan {
+			t.Errorf("cell %s: steady window %+v does not bracket the makespan %g",
+				c.Key, tel.SteadyWindow, c.Summary.Makespan)
+		}
+		if tel.SteadySysEff <= 0 || tel.SteadyMeanDilation < 1 {
+			t.Errorf("cell %s: steady objectives %g / %g out of range",
+				c.Key, tel.SteadySysEff, tel.SteadyMeanDilation)
+		}
+	}
+
+	warm, stats, err := (&Runner{Spec: spec, Cache: cache}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Simulated != 0 {
+		t.Fatalf("warm run simulated %d cells", stats.Simulated)
+	}
+	for i, c := range warm.Cells {
+		if c.Telemetry == nil || *c.Telemetry != *res.Cells[i].Telemetry {
+			t.Errorf("cell %d telemetry summary changed across cache replay", i)
+		}
+	}
+
+	// Telemetry off stays off: the default spec records no summary.
+	plain := testSpec()
+	plain.Schedulers = []string{"fair-share"}
+	plain.Seeds = SeedRange{Start: 42, Count: 1}
+	pres, _, err := (&Runner{Spec: plain, Cache: nil}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range pres.Cells {
+		if c.Telemetry != nil {
+			t.Errorf("cell %s: telemetry summary recorded without sampling enabled", c.Key)
+		}
 	}
 }

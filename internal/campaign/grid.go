@@ -26,8 +26,11 @@ import (
 // burst-buffer cells with silently zero pressure stats. v5: CellResult
 // carries the per-reason skip breakdown (SkippedMemo, SkippedSaturating,
 // SkippedSingleFullGrant) recorded by the decision-trace layer; v4
-// entries would replay with the breakdown silently zero.
-const engineVersion = "iosched-sim/5"
+// entries would replay with the breakdown silently zero. v6: SimOptions
+// grew TelemetrySampleS and CellResult the windowed telemetry summary it
+// enables; v5 entries for a telemetry-enabled spec would replay with the
+// summary silently absent.
+const engineVersion = "iosched-sim/6"
 
 // Cell is one point of the campaign grid: a fully resolved simulation to
 // run.

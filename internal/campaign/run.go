@@ -8,6 +8,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -160,6 +161,10 @@ func (r *Runner) runCell(c *Cell, apps []*platform.App) (*CellResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var probe *telemetry.Probe
+	if r.Spec.Sim.TelemetrySampleS > 0 {
+		probe = &telemetry.Probe{MinInterval: r.Spec.Sim.TelemetrySampleS}
+	}
 	res, err := sim.Run(sim.Config{
 		Platform:       c.plat,
 		Scheduler:      sched,
@@ -167,11 +172,12 @@ func (r *Runner) runCell(c *Cell, apps []*platform.App) (*CellResult, error) {
 		UseBB:          r.Spec.Sim.UseBB,
 		RequestLatency: r.Spec.Sim.RequestLatencyS,
 		MaxTime:        r.Spec.Sim.MaxTimeS,
+		Telemetry:      probe,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %s: %w", c.Name(), err)
 	}
-	return &CellResult{
+	out := &CellResult{
 		Key:       c.Key,
 		Platform:  c.Platform,
 		Scheduler: c.Scheduler,
@@ -189,5 +195,9 @@ func (r *Runner) runCell(c *Cell, apps []*platform.App) (*CellResult, error) {
 		BBPeakLevel: res.BBPeakLevel,
 		BBFullTime:  res.BBFullTime,
 		Summary:     res.Summary,
-	}, nil
+	}
+	if res.Telemetry != nil {
+		out.Telemetry = summarizeTelemetry(res, c.plat.Nodes)
+	}
+	return out, nil
 }

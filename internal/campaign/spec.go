@@ -245,6 +245,12 @@ type SimOptions struct {
 	// MaxTimeS aborts runaway cells; zero derives a generous default
 	// from the workload.
 	MaxTimeS float64 `json:"max_time_s,omitempty"`
+	// TelemetrySampleS, when positive, attaches a telemetry probe to
+	// every cell (internal/telemetry), sampling the congestion series at
+	// this minimum simulated-time spacing; each cell result then carries
+	// a TelemetrySummary. Zero (the default) disables sampling, which is
+	// free.
+	TelemetrySampleS float64 `json:"telemetry_sample_s,omitempty"`
 }
 
 // Validate checks the spec without expanding it.
@@ -263,6 +269,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Seeds.Count <= 0 {
 		return fmt.Errorf("campaign %q: seed count %d, want > 0", s.Name, s.Seeds.Count)
+	}
+	if s.Sim.TelemetrySampleS < 0 {
+		return fmt.Errorf("campaign %q: telemetry_sample_s %g, want >= 0", s.Name, s.Sim.TelemetrySampleS)
 	}
 	seenP := map[string]bool{}
 	for _, ps := range s.Platforms {

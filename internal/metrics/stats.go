@@ -100,17 +100,20 @@ func (s Sample) CI95() float64 {
 }
 
 // Histogram buckets the sample into bins of the given width starting at
-// lo; values above lo+width*len(counts) land in the last bin. It returns
-// the per-bin counts.
+// lo; values below lo (including -Inf) land in the first bin, values at
+// or above lo+width*bins (including +Inf) in the last, and NaN in the
+// first. The range checks happen in floating point BEFORE the int
+// conversion: converting an out-of-range float (such as +Inf) to int
+// saturates to the minimum integer on common architectures, which would
+// silently file +Inf under the first bin. It returns the per-bin counts.
 func (s Sample) Histogram(lo, width float64, bins int) []int {
 	counts := make([]int, bins)
 	for _, v := range s {
-		i := int((v - lo) / width)
-		if i < 0 {
-			i = 0
-		}
-		if i >= bins {
+		i := 0
+		if x := (v - lo) / width; x >= float64(bins) {
 			i = bins - 1
+		} else if x > 0 {
+			i = int(x)
 		}
 		counts[i]++
 	}

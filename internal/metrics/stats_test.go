@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSampleEmpty pins the empty-sample contract: every scalar statistic
+// is NaN (never a silent zero a report could mistake for data), and the
+// histogram is all-zero counts.
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	for name, got := range map[string]float64{
+		"Mean":       s.Mean(),
+		"Std":        s.Std(),
+		"Min":        s.Min(),
+		"Max":        s.Max(),
+		"Percentile": s.Percentile(50),
+		"CI95":       s.CI95(),
+	} {
+		if !math.IsNaN(got) {
+			t.Errorf("empty sample %s = %g, want NaN", name, got)
+		}
+	}
+	for i, c := range s.Histogram(0, 1, 4) {
+		if c != 0 {
+			t.Errorf("empty sample histogram bin %d = %d", i, c)
+		}
+	}
+}
+
+// TestSampleSingle: one observation is its own mean, min, max and every
+// percentile; spread statistics are zero, and CI95 — needing at least
+// two observations — is NaN.
+func TestSampleSingle(t *testing.T) {
+	s := Sample{42.5}
+	for name, got := range map[string]float64{
+		"Mean":            s.Mean(),
+		"Min":             s.Min(),
+		"Max":             s.Max(),
+		"Percentile(0)":   s.Percentile(0),
+		"Percentile(50)":  s.Percentile(50),
+		"Percentile(100)": s.Percentile(100),
+	} {
+		if got != 42.5 {
+			t.Errorf("single sample %s = %g, want 42.5", name, got)
+		}
+	}
+	if got := s.Std(); got != 0 {
+		t.Errorf("single sample Std = %g, want 0", got)
+	}
+	if got := s.CI95(); !math.IsNaN(got) {
+		t.Errorf("single sample CI95 = %g, want NaN (needs n >= 2)", got)
+	}
+}
+
+// TestSampleNaNInf documents how non-finite observations propagate: they
+// poison means (IEEE semantics, surfacing bad inputs instead of masking
+// them), infinities order correctly in min/max/percentile, and the
+// histogram still assigns every value a bin.
+func TestSampleNaNInf(t *testing.T) {
+	inf := Sample{1, math.Inf(1), 2}
+	if got := inf.Mean(); !math.IsInf(got, 1) {
+		t.Errorf("Mean with +Inf = %g, want +Inf", got)
+	}
+	if got := inf.Max(); !math.IsInf(got, 1) {
+		t.Errorf("Max with +Inf = %g, want +Inf", got)
+	}
+	if got := inf.Min(); got != 1 {
+		t.Errorf("Min with +Inf = %g, want 1", got)
+	}
+	if got := inf.Percentile(100); !math.IsInf(got, 1) {
+		t.Errorf("Percentile(100) with +Inf = %g, want +Inf", got)
+	}
+
+	ninf := Sample{math.Inf(-1), 5}
+	if got := ninf.Min(); !math.IsInf(got, -1) {
+		t.Errorf("Min with -Inf = %g, want -Inf", got)
+	}
+	if got := ninf.Percentile(0); !math.IsInf(got, -1) {
+		t.Errorf("Percentile(0) with -Inf = %g, want -Inf", got)
+	}
+
+	nan := Sample{1, math.NaN(), 2}
+	if got := nan.Mean(); !math.IsNaN(got) {
+		t.Errorf("Mean with NaN = %g, want NaN", got)
+	}
+	if got := nan.Std(); !math.IsNaN(got) {
+		t.Errorf("Std with NaN = %g, want NaN", got)
+	}
+
+	// Histogram never drops a value: n observations, n counts, whatever
+	// the values.
+	counts := Sample{math.Inf(-1), -3, 0.5, 99, math.Inf(1)}.Histogram(0, 1, 3)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("histogram counted %d of 5 values: %v", total, counts)
+	}
+	if counts[0] < 2 {
+		t.Errorf("below-range values not clamped to bin 0: %v", counts)
+	}
+	if counts[2] < 2 {
+		t.Errorf("above-range values not clamped to the last bin: %v", counts)
+	}
+}
+
+// TestSampleProperties drives the statistics with generated finite
+// samples and checks the order-theoretic invariants that hold for any
+// input: min <= p-th percentile <= max monotonically in p, mean within
+// [min, max], Std >= 0, and permutation invariance.
+func TestSampleProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func(n int) Sample {
+		s := make(Sample, n)
+		for i := range s {
+			s[i] = math.Ldexp(rng.NormFloat64(), rng.Intn(20)-10)
+		}
+		return s
+	}
+	prop := func(n uint8) bool {
+		s := gen(int(n%64) + 1)
+		lo, hi := s.Min(), s.Max()
+		if !(lo <= hi) {
+			return false
+		}
+		if m := s.Mean(); !(m >= lo && m <= hi) {
+			return false
+		}
+		if sd := s.Std(); !(sd >= 0) {
+			return false
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 12.5 {
+			q := s.Percentile(p)
+			if !(q >= lo && q <= hi && q >= prev) {
+				return false
+			}
+			prev = q
+		}
+		// Percentile sorts a copy: it is permutation-invariant and must
+		// not reorder the caller's slice. (Mean is not bit-permutation-
+		// invariant — float addition is order-sensitive — so only the
+		// rank statistics are checked this way.)
+		shuffled := append(Sample(nil), s...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		before := append(Sample(nil), shuffled...)
+		if shuffled.Percentile(50) != s.Percentile(50) || shuffled.Min() != s.Min() {
+			return false
+		}
+		for i := range shuffled {
+			if shuffled[i] != before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMeanSummaryEdgeCases: zero runs average to the zero Summary (not
+// NaN — aggregation layers branch on it), one run averages to itself.
+func TestMeanSummaryEdgeCases(t *testing.T) {
+	if got := MeanSummary(nil); got != (Summary{}) {
+		t.Errorf("MeanSummary(nil) = %+v, want zero", got)
+	}
+	one := Summary{SysEfficiency: 80, UpperLimit: 90, Dilation: 1.5, MeanDilation: 1.2, Makespan: 1000}
+	if got := MeanSummary([]Summary{one}); got != one {
+		t.Errorf("MeanSummary of one run = %+v, want the run itself", got)
+	}
+	two := MeanSummary([]Summary{one, {Dilation: 2.5}})
+	if two.Dilation != 2 || two.SysEfficiency != 40 {
+		t.Errorf("MeanSummary of two runs = %+v", two)
+	}
+}

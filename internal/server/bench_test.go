@@ -70,7 +70,14 @@ func BenchmarkServerSaturation(b *testing.B) {
 // measure the allocation path rather than the TCP stack.
 func newDirectServer(tb testing.TB, pol core.Scheduler, totalBW, nodeBW float64, n, nodes int) (*Server, []*session) {
 	tb.Helper()
-	srv, err := New(Config{Policy: pol, TotalBW: totalBW, NodeBW: nodeBW})
+	return newDirectServerCfg(tb, Config{Policy: pol, TotalBW: totalBW, NodeBW: nodeBW}, n, nodes)
+}
+
+// newDirectServerCfg is newDirectServer with a caller-supplied Config,
+// for variants that attach telemetry or tracing.
+func newDirectServerCfg(tb testing.TB, cfg Config, n, nodes int) (*Server, []*session) {
+	tb.Helper()
+	srv, err := New(cfg)
 	if err != nil {
 		tb.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dectrace"
+	"repro/internal/telemetry"
 	"repro/internal/xsort"
 )
 
@@ -31,6 +32,15 @@ type Config struct {
 	// the sink must be fast, concurrency-safe and must not block (see
 	// docs/tracing.md). Nil keeps the steady round allocation-free.
 	DecisionTrace dectrace.Sink
+	// Telemetry, when non-nil, collects live time series and latency
+	// histograms: the congestion signals are sampled after every
+	// allocation round (under the probe's MinInterval gate), and the
+	// round, grant-push and decision-to-apply latencies are recorded into
+	// the probe's histograms (see docs/observability.md). Nil keeps the
+	// steady round allocation-free; with a bounded probe (MaxPoints > 0)
+	// the enabled steady round is allocation-free too, pinned by
+	// TestSteadyRoundTelemetryAllocationFree.
+	Telemetry *telemetry.Probe
 }
 
 // Server is the global I/O scheduler daemon. Create with New, start with
@@ -139,6 +149,14 @@ type Server struct {
 	switches     uint64
 	lastForecast float64
 	hasForecast  bool
+
+	// tel mirrors cfg.Telemetry; the three histograms are resolved once
+	// at construction so the hot path never takes the probe's histogram
+	// lock. All nil when telemetry is disabled.
+	tel       *telemetry.Probe
+	roundHist *telemetry.Histogram // full round: decide + arm + flush
+	pushHist  *telemetry.Histogram // grant enqueue → socket write completed
+	applyHist *telemetry.Histogram // message arrival → grants flushed
 }
 
 // session is one connected application.
@@ -178,16 +196,33 @@ type session struct {
 	// stall scheduling nor delay pushes to its peers.
 	outMu   sync.Mutex
 	outCond *sync.Cond
-	outbox  []Message
+	outbox  []outMsg
 	closing bool
 	outDone chan struct{}
+
+	// pushHist, when non-nil, receives the enqueue→written latency of
+	// every grant push (Config.Telemetry's grant-push histogram).
+	pushHist *telemetry.Histogram
 }
 
-// enqueue appends a message to the session's outbox.
+// outMsg is one outbox entry: the message plus, when grant-push
+// telemetry is enabled, its enqueue instant (UnixNano; 0 = untimed).
+type outMsg struct {
+	msg Message
+	enq int64
+}
+
+// enqueue appends a message to the session's outbox. Grant pushes are
+// timestamped when telemetry is enabled so the writer goroutine can
+// record how long the grant sat behind its peers on the wire.
 func (sess *session) enqueue(msg Message) {
+	var enq int64
+	if sess.pushHist != nil && msg.Type == TypeGrant {
+		enq = time.Now().UnixNano()
+	}
 	sess.outMu.Lock()
 	if !sess.closing {
-		sess.outbox = append(sess.outbox, msg)
+		sess.outbox = append(sess.outbox, outMsg{msg: msg, enq: enq})
 		sess.outCond.Signal()
 	}
 	sess.outMu.Unlock()
@@ -222,6 +257,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.reg.init()
 	s.clock = func() float64 { return cfg.Now().Sub(s.start).Seconds() }
+	if cfg.Telemetry != nil {
+		s.tel = cfg.Telemetry
+		s.roundHist = s.tel.Histogram("ioschedd_round_duration_seconds")
+		s.pushHist = s.tel.Histogram("ioschedd_grant_push_delay_seconds")
+		s.applyHist = s.tel.Histogram("ioschedd_decision_apply_seconds")
+	}
 	return s, nil
 }
 
@@ -493,8 +534,9 @@ func (s *Server) register(conn net.Conn, msg *Message) (*session, error) {
 			Phase:   core.Computing,
 			Release: 0, // set under the lock below
 		},
-		profile: append([]PhaseSpec(nil), msg.Profile...),
-		outDone: make(chan struct{}),
+		profile:  append([]PhaseSpec(nil), msg.Profile...),
+		outDone:  make(chan struct{}),
+		pushHist: s.pushHist,
 	}
 	sess.outCond = sync.NewCond(&sess.outMu)
 
@@ -527,7 +569,7 @@ func (s *Server) register(conn net.Conn, msg *Message) (*session, error) {
 func (s *Server) writeLoop(sess *session) {
 	defer s.wg.Done()
 	defer close(sess.outDone)
-	var buf []Message
+	var buf []outMsg
 	for {
 		sess.outMu.Lock()
 		for len(sess.outbox) == 0 && !sess.closing {
@@ -540,7 +582,7 @@ func (s *Server) writeLoop(sess *session) {
 		buf, sess.outbox = sess.outbox, buf[:0]
 		sess.outMu.Unlock()
 		for i := range buf {
-			b, err := encode(&buf[i])
+			b, err := encode(&buf[i].msg)
 			if err != nil {
 				s.logf("app %d: encode: %v", sess.view.ID, err)
 				continue
@@ -548,6 +590,9 @@ func (s *Server) writeLoop(sess *session) {
 			if _, err := sess.conn.Write(b); err != nil {
 				s.logf("app %d: push: %v", sess.view.ID, err)
 				return
+			}
+			if buf[i].enq != 0 {
+				sess.pushHist.Observe(float64(time.Now().UnixNano()-buf[i].enq) / 1e9)
 			}
 		}
 	}
@@ -565,6 +610,10 @@ func (s *Server) sessionError(sess *session, cause error) {
 func (s *Server) dispatch(sess *session, msg *Message) error {
 	if msg.AppID != 0 && msg.AppID != sess.view.ID {
 		return fmt.Errorf("server: message for app %d on app %d's connection", msg.AppID, sess.view.ID)
+	}
+	var t0 time.Time
+	if s.tel != nil {
+		t0 = time.Now()
 	}
 	s.mu.Lock()
 	kind := msg.Type
@@ -605,6 +654,11 @@ func (s *Server) dispatch(sess *session, msg *Message) error {
 		return fmt.Errorf("server: unexpected %q from client", msg.Type)
 	}
 	s.roundLocked(kind)
+	if s.tel != nil {
+		// Decision-to-apply: message arrival (including the wait for the
+		// round lock) to the round's grants flushed into the outboxes.
+		s.applyHist.ObserveDuration(time.Since(t0))
+	}
 	s.mu.Unlock()
 	return nil
 }
@@ -710,10 +764,45 @@ type pushGrant struct {
 // message type, "hello", "leave", "wake" or "policy") for the decision
 // trace. Callers hold s.mu.
 func (s *Server) roundLocked(kind string) {
+	var t0 time.Time
+	if s.tel != nil {
+		t0 = time.Now()
+	}
 	now := s.now()
 	s.decideLocked(now, kind)
 	s.armWakeLocked(now)
 	s.flushLocked()
+	if s.tel != nil {
+		s.roundHist.ObserveDuration(time.Since(t0))
+		s.observeLocked(now)
+	}
+}
+
+// observeLocked samples the congestion signals into the probe, walking
+// the ID-sorted candidate set — the same signals, computed by the same
+// telemetry.PointBuilder operations, as the simulator's capture site, so
+// the two engines' series agree point for point on equivalent histories
+// (TestDaemonTelemetryMatchesSimulator). Callers hold s.mu.
+func (s *Server) observeLocked(now float64) {
+	if !s.tel.Due(now) {
+		return
+	}
+	s.tel.Record(s.livePointLocked(now))
+	for _, id := range s.tel.TrackApps {
+		if sess := s.reg.get(id); sess != nil {
+			s.tel.RecordApp(id, now, 1/sess.view.Ratio(now))
+		}
+	}
+}
+
+// livePointLocked builds the current congestion sample. Callers hold
+// s.mu.
+func (s *Server) livePointLocked(now float64) telemetry.Point {
+	var b telemetry.PointBuilder
+	for _, sess := range s.candidates {
+		b.Add(now, &sess.view, sess.bw, s.cfg.NodeBW)
+	}
+	return b.Finish(now, s.cfg.TotalBW, 0)
 }
 
 // decideLocked runs one allocation round: skip when the outcome is

@@ -30,6 +30,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/metrics"
 	"repro/internal/platform"
+	"repro/internal/telemetry"
 	"repro/internal/xsort"
 )
 
@@ -68,6 +69,13 @@ type Config struct {
 	// decision point — scheduler invocations and capability skips alike
 	// (see docs/tracing.md). Nil leaves the hot path untouched.
 	DecisionTrace dectrace.Sink
+
+	// Telemetry, when non-nil, samples the congestion signals (PFS
+	// utilization, backlog, candidate count, burst-buffer level, Jain
+	// fairness, running stretch) at every event boundary that passes the
+	// probe's MinInterval gate; the snapshot lands in Result.Telemetry
+	// (see docs/observability.md). Nil leaves the hot path untouched.
+	Telemetry *telemetry.Probe
 }
 
 // Result is the outcome of a run.
@@ -96,6 +104,9 @@ type Result struct {
 	BBPeakLevel float64
 	// BBFullTime is the total time the burst buffer spent full (seconds).
 	BBFullTime float64
+	// Telemetry is the captured time-series snapshot when Config.Telemetry
+	// was attached, nil otherwise.
+	Telemetry *telemetry.Telemetry
 }
 
 type phase int
@@ -329,10 +340,47 @@ func (s *simulation) finishSetup() {
 func (s *simulation) run() (*Result, error) {
 	s.fireDue() // releases due at t = 0
 	s.decide()
+	s.observe()
 	if _, err := s.loop(math.Inf(1)); err != nil {
 		return nil, err
 	}
 	return s.collect(), nil
+}
+
+// observe samples the congestion signals into the attached telemetry
+// probe. Called right after every decision point so the sample reflects
+// the grants just applied; nil-gated so a run without telemetry pays
+// only this comparison. The candidate walk follows the index-ordered
+// sorted view — the same order the scheduler sees, and (for workloads
+// whose app IDs ascend with config order, like every generated one) the
+// ID order the daemon's capture site walks, which is what makes the two
+// engines' series bit-comparable.
+func (s *simulation) observe() {
+	pr := s.cfg.Telemetry
+	if pr == nil {
+		return
+	}
+	if !pr.Due(s.now) {
+		return
+	}
+	cap := s.capacity()
+	var b telemetry.PointBuilder
+	views := s.wantViews()
+	for i, v := range views {
+		b.Add(s.now, v, s.apps[s.candSorted[i]].bw, cap.NodeBW)
+	}
+	lvl := 0.0
+	if s.buffer != nil {
+		lvl = s.buffer.Level()
+	}
+	pr.Record(b.Finish(s.now, cap.TotalBW, lvl))
+	for _, id := range pr.TrackApps {
+		st := s.byID[id]
+		if st == nil || st.phase == notReleased || st.phase == finished {
+			continue
+		}
+		pr.RecordApp(id, s.now, 1/st.view.Ratio(s.now))
+	}
 }
 
 // loop processes events until the workload finishes or the next event
@@ -363,6 +411,7 @@ func (s *simulation) loop(stopAt float64) (bool, error) {
 		s.advanceTo(next)
 		s.fireDue()
 		s.decide()
+		s.observe()
 		s.events++
 		if s.events > maxEvents {
 			return false, fmt.Errorf("sim: exceeded event budget %d at t=%g (%d decisions, %d skipped; %s)",
@@ -999,5 +1048,8 @@ func (s *simulation) collect() *Result {
 		})
 	}
 	res.Summary = metrics.Summarize(res.Apps, s.p.Nodes)
+	if s.cfg.Telemetry != nil {
+		res.Telemetry = s.cfg.Telemetry.Snapshot()
+	}
 	return res
 }

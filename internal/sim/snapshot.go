@@ -147,6 +147,7 @@ func RunToSnapshot(cfg Config, stopAt float64) (*Snapshot, error) {
 	s := newSimulation(cfg)
 	s.fireDue()
 	s.decide()
+	s.observe()
 	if _, err := s.loop(stopAt); err != nil {
 		return nil, err
 	}
@@ -166,6 +167,7 @@ func Resume(cfg Config, snap *Snapshot) (*Result, error) {
 	}
 	if snap.RedecideOnResume {
 		s.decide()
+		s.observe()
 	}
 	if _, err := s.loop(math.Inf(1)); err != nil {
 		return nil, err
@@ -185,6 +187,7 @@ func ResumeToSnapshot(cfg Config, snap *Snapshot, stopAt float64) (*Snapshot, er
 	}
 	if snap.RedecideOnResume {
 		s.decide()
+		s.observe()
 	}
 	if _, err := s.loop(stopAt); err != nil {
 		return nil, err

@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4): a # HELP and # TYPE header per metric followed by its
+// sample lines. Errors are sticky; check Err once after the last metric.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// promFloat renders a float the way Prometheus expects (+Inf/-Inf/NaN
+// spelled out).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (p *PromWriter) header(name, help, typ string) {
+	if help != "" {
+		p.printf("# HELP %s %s\n", name, help)
+	}
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Gauge emits one gauge sample.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.header(name, help, "gauge")
+	p.printf("%s %s\n", name, promFloat(v))
+}
+
+// Counter emits one counter sample.
+func (p *PromWriter) Counter(name, help string, v float64) {
+	p.header(name, help, "counter")
+	p.printf("%s %s\n", name, promFloat(v))
+}
+
+// Histogram emits one histogram: cumulative le-labeled buckets, the
+// +Inf bucket, _sum and _count.
+func (p *PromWriter) Histogram(name, help string, s HistogramSnapshot) {
+	p.header(name, help, "histogram")
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		p.printf("%s_bucket{le=%q} %d\n", name, promFloat(b.LE), cum)
+	}
+	p.printf("%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	p.printf("%s_sum %s\n", name, promFloat(s.Sum))
+	p.printf("%s_count %d\n", name, s.Count)
+}
+
+// PromMetric is one parsed metric family, as returned by ParseProm.
+type PromMetric struct {
+	Name string
+	Type string
+	// Samples maps the full sample name including its label set (e.g.
+	// `x_bucket{le="0.5"}`) to its value. Plain metrics use the bare name.
+	Samples map[string]float64
+}
+
+// ParseProm is a minimal parser/validator for the Prometheus text
+// format, used by tests (and usable by external tooling) to check that
+// an exposition endpoint emits well-formed output. It verifies that
+// every sample belongs to a # TYPE-declared family, that values parse,
+// and that histogram families are internally consistent: bucket counts
+// cumulative and nondecreasing, a closing +Inf bucket equal to _count,
+// and _sum/_count present. It returns the families keyed by name.
+func ParseProm(r io.Reader) (map[string]*PromMetric, error) {
+	families := make(map[string]*PromMetric)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				name, typ := fields[2], fields[3]
+				if _, dup := families[name]; dup {
+					return nil, fmt.Errorf("prom: line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				families[name] = &PromMetric{Name: name, Type: typ, Samples: make(map[string]float64)}
+			}
+			continue
+		}
+		// Sample line: name[{labels}] value [timestamp]
+		nameEnd := strings.IndexAny(line, " \t{")
+		if nameEnd < 0 {
+			return nil, fmt.Errorf("prom: line %d: malformed sample %q", lineNo, line)
+		}
+		full := line
+		name := line[:nameEnd]
+		rest := line[nameEnd:]
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				return nil, fmt.Errorf("prom: line %d: unclosed label set in %q", lineNo, line)
+			}
+			full = line[:nameEnd+end+1]
+			rest = rest[end+1:]
+		} else {
+			full = name
+		}
+		valStr := strings.Fields(rest)
+		if len(valStr) == 0 {
+			return nil, fmt.Errorf("prom: line %d: missing value in %q", lineNo, line)
+		}
+		v, err := parsePromFloat(valStr[0])
+		if err != nil {
+			return nil, fmt.Errorf("prom: line %d: bad value %q: %v", lineNo, valStr[0], err)
+		}
+		fam := families[name]
+		if fam == nil {
+			// Histogram series belong to the base family.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if base, ok := strings.CutSuffix(name, suffix); ok {
+					if f := families[base]; f != nil && f.Type == "histogram" {
+						fam = f
+						break
+					}
+				}
+			}
+		}
+		if fam == nil {
+			return nil, fmt.Errorf("prom: line %d: sample %q without TYPE declaration", lineNo, name)
+		}
+		fam.Samples[full] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, fam := range families {
+		if fam.Type == "histogram" {
+			if err := checkPromHistogram(fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// checkPromHistogram validates one histogram family's invariants.
+func checkPromHistogram(fam *PromMetric) error {
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bucket
+	var count float64
+	var hasCount, hasSum, hasInf bool
+	for full, v := range fam.Samples {
+		switch {
+		case strings.HasPrefix(full, fam.Name+"_bucket{"):
+			leStr := full[strings.Index(full, `le="`)+len(`le="`):]
+			leStr = leStr[:strings.Index(leStr, `"`)]
+			le, err := parsePromFloat(leStr)
+			if err != nil {
+				return fmt.Errorf("prom: %s: bad le %q", fam.Name, leStr)
+			}
+			if math.IsInf(le, 1) {
+				hasInf = true
+			}
+			buckets = append(buckets, bucket{le: le, cum: v})
+		case full == fam.Name+"_count":
+			hasCount, count = true, v
+		case full == fam.Name+"_sum":
+			hasSum = true
+		}
+	}
+	if !hasCount || !hasSum || !hasInf {
+		return fmt.Errorf("prom: histogram %s missing _count/_sum/+Inf bucket", fam.Name)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	prev := 0.0
+	for _, b := range buckets {
+		if b.cum < prev {
+			return fmt.Errorf("prom: histogram %s bucket le=%g count %g below predecessor %g",
+				fam.Name, b.le, b.cum, prev)
+		}
+		prev = b.cum
+	}
+	if last := buckets[len(buckets)-1]; last.cum != count {
+		return fmt.Errorf("prom: histogram %s +Inf bucket %g != _count %g", fam.Name, last.cum, count)
+	}
+	return nil
+}

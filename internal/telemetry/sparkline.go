@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+)
+
+// sparkLevels are the eighth-block glyphs, shortest to tallest.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a width-character ASCII-art series: the
+// values are bucketed into width equal time slices (averaging within a
+// slice), normalized to the series' min..max range, and mapped onto
+// eighth-block glyphs. A flat series renders at the lowest level; NaN
+// slices (no samples) render as spaces. Empty input returns "".
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	cells := resample(values, width)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range cells {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range cells {
+		switch {
+		case math.IsNaN(v):
+			b.WriteRune(' ')
+		case hi <= lo:
+			b.WriteRune(sparkLevels[0])
+		default:
+			idx := int((v - lo) / (hi - lo) * float64(len(sparkLevels)))
+			if idx >= len(sparkLevels) {
+				idx = len(sparkLevels) - 1
+			}
+			b.WriteRune(sparkLevels[idx])
+		}
+	}
+	return b.String()
+}
+
+// resample averages values into width slices (width > len duplicates by
+// nearest index).
+func resample(values []float64, width int) []float64 {
+	out := make([]float64, width)
+	if width <= len(values) {
+		for i := 0; i < width; i++ {
+			lo := i * len(values) / width
+			hi := (i + 1) * len(values) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			sum := 0.0
+			for _, v := range values[lo:hi] {
+				sum += v
+			}
+			out[i] = sum / float64(hi-lo)
+		}
+		return out
+	}
+	for i := 0; i < width; i++ {
+		out[i] = values[i*len(values)/width]
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Window is a closed time interval [Start, End] on the engine clock.
+type Window struct {
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// Contains reports whether t lies in the window.
+func (w Window) Contains(t float64) bool { return t >= w.Start && t <= w.End }
+
+// SeriesNames lists the point series available to Values/Aggregate, in
+// exposition order.
+func SeriesNames() []string {
+	return []string{"util", "backlog", "candidates", "bb_level", "jain", "max_stretch", "mean_stretch"}
+}
+
+// pointValue extracts one named series value from a point.
+func pointValue(pt Point, name string) (float64, bool) {
+	switch name {
+	case "util":
+		return pt.Utilization, true
+	case "backlog":
+		return pt.Backlog, true
+	case "candidates":
+		return float64(pt.Candidates), true
+	case "bb_level":
+		return pt.BBLevel, true
+	case "jain":
+		return pt.Jain, true
+	case "max_stretch":
+		return pt.MaxStretch, true
+	case "mean_stretch":
+		return pt.MeanStretch, true
+	}
+	return 0, false
+}
+
+// Values returns the named series restricted to the window, in time
+// order. Unknown names return nil.
+func (t *Telemetry) Values(name string, w Window) []float64 {
+	if _, ok := pointValue(Point{}, name); !ok {
+		return nil
+	}
+	var out []float64
+	for _, pt := range t.Points {
+		if w.Contains(pt.Time) {
+			v, _ := pointValue(pt, name)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SeriesStats summarizes one series over a window.
+type SeriesStats struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// Aggregate computes mean/p50/p99/min/max of the named series over the
+// window (NaN statistics when the window holds no samples, matching
+// metrics.Sample).
+func (t *Telemetry) Aggregate(name string, w Window) (SeriesStats, error) {
+	if _, ok := pointValue(Point{}, name); !ok {
+		return SeriesStats{}, fmt.Errorf("telemetry: unknown series %q (have %v)", name, SeriesNames())
+	}
+	s := metrics.Sample(t.Values(name, w))
+	return SeriesStats{
+		Count: len(s),
+		Mean:  s.Mean(),
+		P50:   s.Percentile(50),
+		P99:   s.Percentile(99),
+		Min:   s.Min(),
+		Max:   s.Max(),
+	}, nil
+}
+
+// WindowedSummary computes the paper objectives restricted to a window:
+// each application contributes with weight = the fraction of its
+// [Release, Finish] lifetime overlapping the window (apps with no
+// overlap are excluded), and Makespan is the latest in-window finish.
+// It is the open-system steady-state variant of metrics.Summarize: a
+// window covering every application's full lifetime assigns weight
+// exactly 1, and the loop below performs metrics.Summarize's
+// floating-point operations in the same order, so the full-window result
+// reproduces Summarize bit for bit (pinned by TestWindowedSummaryFullRun).
+func WindowedSummary(apps []metrics.AppPerf, totalNodes int, w Window) metrics.Summary {
+	if totalNodes <= 0 {
+		panic(fmt.Sprintf("telemetry: totalNodes = %d", totalNodes))
+	}
+	var s metrics.Summary
+	s.Dilation = 1
+	var dsum, nodes float64
+	for _, a := range apps {
+		weight, end := overlapWeight(a, w)
+		if weight <= 0 {
+			continue
+		}
+		wn := weight * float64(a.Nodes)
+		s.SysEfficiency += wn * a.AchievedEff()
+		s.UpperLimit += wn * a.OptimalEff()
+		if d := a.Dilation(); d > s.Dilation {
+			s.Dilation = d
+		}
+		dsum += wn * a.Dilation()
+		nodes += wn
+		if end > s.Makespan {
+			s.Makespan = end
+		}
+	}
+	s.SysEfficiency *= 100 / float64(totalNodes)
+	s.UpperLimit *= 100 / float64(totalNodes)
+	if nodes > 0 {
+		s.MeanDilation = dsum / nodes
+	}
+	return s
+}
+
+// overlapWeight returns the fraction of a's lifetime inside w and the
+// in-window end instant it contributes to Makespan. Full containment
+// returns exactly 1.0, preserving bit-identity with the unwindowed sum
+// (weight·x multiplies by the float literal 1, and x·1 == x in IEEE 754
+// — in fact the code path is the same either way). Zero-length
+// lifetimes count fully when their instant lies in the window.
+func overlapWeight(a metrics.AppPerf, w Window) (weight, end float64) {
+	if a.Release >= w.Start && a.Finish <= w.End {
+		return 1, a.Finish
+	}
+	lo, hi := a.Release, a.Finish
+	if lo < w.Start {
+		lo = w.Start
+	}
+	if hi > w.End {
+		hi = w.End
+	}
+	if hi < lo {
+		return 0, 0
+	}
+	dur := a.Finish - a.Release
+	if dur <= 0 {
+		// Instantaneous lifetime intersecting the window: all of it.
+		return 1, hi
+	}
+	return (hi - lo) / dur, hi
+}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/twin"
 	"repro/internal/workload"
 )
@@ -200,6 +201,38 @@ var (
 	Explain = twin.Explain
 	// WhatIfGrants forks a snapshot with one forced grant vector.
 	WhatIfGrants = twin.WhatIfGrants
+)
+
+// Telemetry (internal/telemetry): low-overhead congestion time series and
+// latency histograms shared by the simulator and the daemon. Attach a
+// probe via SimConfig.Telemetry (or server.Config.Telemetry) and read the
+// captured series from SimResult.Telemetry; a nil probe costs nothing
+// (see docs/observability.md).
+type (
+	// TelemetryProbe collects sampled congestion points and named
+	// latency histograms while an engine runs.
+	TelemetryProbe = telemetry.Probe
+	// TelemetryPoint is one sampled instant of the congestion series.
+	TelemetryPoint = telemetry.Point
+	// TelemetrySnapshot is a probe's captured series plus histogram
+	// snapshots (the type of SimResult.Telemetry); its Aggregate method
+	// reduces one named series over a window.
+	TelemetrySnapshot = telemetry.Telemetry
+	// TelemetryWindow is a closed [Start, End] aggregation window.
+	TelemetryWindow = telemetry.Window
+	// TelemetrySeriesStats summarizes one series over a window.
+	TelemetrySeriesStats = telemetry.SeriesStats
+)
+
+var (
+	// TelemetrySeriesNames lists the congestion series a probe samples.
+	TelemetrySeriesNames = telemetry.SeriesNames
+	// TelemetryWindowedSummary reduces per-app performance records to the
+	// paper's objectives over one window (bit-identical to Summarize for
+	// a window containing every record).
+	TelemetryWindowedSummary = telemetry.WindowedSummary
+	// TelemetrySparkline renders a series as a UTF-8 sparkline.
+	TelemetrySparkline = telemetry.Sparkline
 )
 
 // Cluster emulation (Section 5).
