@@ -23,6 +23,12 @@
 // a benchmark does not require regenerating the baseline. Use -require to
 // fail when expected benchmarks are missing from stdin (a crashed or
 // misfiltered `go test` must not pass silently).
+//
+// -step names the CI step in every failure line, so a red gate in a
+// multi-step job points at the step that produced it without reading the
+// whole log. -json replaces the human table with one machine-readable
+// report on stdout (the raw benchmark lines move to stderr), for CI
+// annotation tooling.
 package main
 
 import (
@@ -30,7 +36,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -58,11 +66,26 @@ type measurement struct {
 	allocsPerOp float64 // -1 when -benchmem was not passed
 }
 
+// result is one benchmark's verdict against the baseline.
+type result struct {
+	Name           string  `json:"name"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	BaselineNs     float64 `json:"baseline_ns_per_op"`
+	Ratio          float64 `json:"ratio"`
+	AllocsPerOp    float64 `json:"allocs_per_op,omitempty"`
+	BaselineAllocs float64 `json:"baseline_allocs_per_op,omitempty"`
+	Status         string  `json:"status"`
+}
+
+var step string
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline file")
 	factor := flag.Float64("factor", 2, "fail when ns/op exceeds baseline by this factor")
 	allocSlack := flag.Float64("alloc-slack", 8, "fail when allocs/op exceeds baseline by more than this many allocations")
 	require := flag.String("require", "", "comma-separated benchmark names that must appear on stdin")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout (raw bench lines go to stderr)")
+	flag.StringVar(&step, "step", "", "CI step name to include in failure output")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -74,7 +97,13 @@ func main() {
 		fatal("parsing %s: %v", *baselinePath, err)
 	}
 
-	measured := parseBench(os.Stdin)
+	// In JSON mode stdout must stay a single JSON document; the raw
+	// benchmark passthrough moves to stderr.
+	passthrough := io.Writer(os.Stdout)
+	if *jsonOut {
+		passthrough = os.Stderr
+	}
+	measured := parseBench(os.Stdin, passthrough)
 	if len(measured) == 0 {
 		fatal("no benchmark lines on stdin (pipe `go test -bench` output in)")
 	}
@@ -86,32 +115,74 @@ func main() {
 		}
 	}
 
-	checked, failed := 0, 0
-	for name, m := range measured {
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var results []result
+	failed := 0
+	for _, name := range names {
+		m := measured[name]
 		ref, ok := base.Benchmarks[name]
 		if !ok || ref.NsPerOp <= 0 {
 			continue
 		}
-		checked++
-		ratio := m.nsPerOp / ref.NsPerOp
-		status := "ok"
-		if ratio > *factor {
-			status = "FAIL(ns/op)"
+		r := result{
+			Name:       name,
+			NsPerOp:    m.nsPerOp,
+			BaselineNs: ref.NsPerOp,
+			Ratio:      m.nsPerOp / ref.NsPerOp,
+			Status:     "ok",
+		}
+		if r.Ratio > *factor {
+			r.Status = "FAIL(ns/op)"
 			failed++
 		}
-		allocNote := ""
 		if ref.AllocsPerOp > 0 && m.allocsPerOp >= 0 {
-			allocNote = fmt.Sprintf("  allocs %6.0f/%6.0f (%+.0f)",
-				m.allocsPerOp, ref.AllocsPerOp, m.allocsPerOp-ref.AllocsPerOp)
+			r.AllocsPerOp = m.allocsPerOp
+			r.BaselineAllocs = ref.AllocsPerOp
 			if m.allocsPerOp > ref.AllocsPerOp+*allocSlack {
-				status = "FAIL(allocs/op)"
+				r.Status = "FAIL(allocs/op)"
 				failed++
 			}
 		}
-		fmt.Printf("%-40s %14.0f ns/op  baseline %14.0f  ratio %5.2f%s  %s\n",
-			name, m.nsPerOp, ref.NsPerOp, ratio, allocNote, status)
+		results = append(results, r)
 	}
-	if checked == 0 {
+
+	if *jsonOut {
+		report := struct {
+			Step     string   `json:"step,omitempty"`
+			Baseline string   `json:"baseline"`
+			Recorded string   `json:"recorded,omitempty"`
+			Checked  int      `json:"checked"`
+			Failed   int      `json:"failed"`
+			Results  []result `json:"results"`
+		}{
+			Step: step, Baseline: *baselinePath, Recorded: base.Recorded,
+			Checked: len(results), Failed: failed, Results: results,
+		}
+		if report.Results == nil {
+			report.Results = []result{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatal("%v", err)
+		}
+	} else {
+		for _, r := range results {
+			allocNote := ""
+			if r.BaselineAllocs > 0 {
+				allocNote = fmt.Sprintf("  allocs %6.0f/%6.0f (%+.0f)",
+					r.AllocsPerOp, r.BaselineAllocs, r.AllocsPerOp-r.BaselineAllocs)
+			}
+			fmt.Printf("%-40s %14.0f ns/op  baseline %14.0f  ratio %5.2f%s  %s\n",
+				r.Name, r.NsPerOp, r.BaselineNs, r.Ratio, allocNote, r.Status)
+		}
+	}
+	if len(results) == 0 {
 		fatal("no measured benchmark matched the baseline (names: %v)", keys(base.Benchmarks))
 	}
 	if failed > 0 {
@@ -123,12 +194,12 @@ func main() {
 // parseBench extracts per-benchmark measurements from `go test -bench`
 // output. The trailing -N processor-count suffix is stripped so baselines
 // transfer between machines with different GOMAXPROCS.
-func parseBench(f *os.File) map[string]measurement {
+func parseBench(f *os.File, passthrough io.Writer) map[string]measurement {
 	out := map[string]measurement{}
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line) // pass the raw output through for the CI log
+		fmt.Fprintln(passthrough, line) // keep the raw output in the CI log
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
@@ -169,6 +240,10 @@ func keys(m map[string]BenchRef) []string {
 }
 
 func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	prefix := "benchgate"
+	if step != "" {
+		prefix = "benchgate[" + step + "]"
+	}
+	fmt.Fprintf(os.Stderr, prefix+": "+format+"\n", args...)
 	os.Exit(1)
 }

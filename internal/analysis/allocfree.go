@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The allocfree gate pins the documented 0-alloc paths (the daemon's
+// steady round, core's scratch allocators, telemetry's observe path —
+// the claims runtime-tested by TestSteadyRoundAllocationFree and
+// friends) at compile time: functions annotated
+//
+//	//iosched:allocfree
+//
+// are checked against the compiler's escape analysis, and any heap
+// escape inside their body fails the gate with the escaping line. A
+// deliberate cold-path allocation (a first-use buffer, a trace-enabled
+// branch) is exempted line by line with
+//
+//	//iosched:allocfree-allow <justification>
+//
+// on the escaping line or the line above it.
+//
+// Mechanics: the gate compiles each annotated package directly with
+// `go tool compile -m` against the export data reported by
+// `go list -deps -export` — invoking the compiler itself is what makes
+// the diagnostics reproducible (a cached `go build` replays nothing).
+// Escapes are attributed to source lines, so the gate sees the
+// annotated function's own body; escapes inside callees that the
+// inliner did not fold in are outside its view (they belong to the
+// callee's own annotation).
+
+// AllocFreeAnnotation marks a function whose body must not introduce
+// heap escapes.
+const AllocFreeAnnotation = "//iosched:allocfree"
+
+// AllocFreeAllow exempts one escaping line with a justification.
+const AllocFreeAllow = "//iosched:allocfree-allow"
+
+// escapeRe matches the compiler's -m escape diagnostics worth gating.
+var escapeRe = regexp.MustCompile(`(escapes to heap|moved to heap)`)
+
+// afFunc is one annotated function's line range.
+type afFunc struct {
+	name      string
+	file      string
+	startLine int
+	endLine   int
+}
+
+// AllocFree runs the escape-analysis gate over the given package
+// patterns and returns the diagnostics. Packages without annotations
+// are skipped without compiling.
+func AllocFree(dir string, patterns ...string) ([]Diagnostic, error) {
+	listed, err := goList(dir, append([]string{"-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Module"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	tmp, err := os.MkdirTemp("", "ioschedvet-allocfree")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	var diags []Diagnostic
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		funcs, allows, perr := scanAllocFreeAnnotations(p.Dir, p.GoFiles)
+		if perr != nil {
+			return nil, perr
+		}
+		if len(funcs) == 0 {
+			continue
+		}
+		d, cerr := escapeCheck(p.ImportPath, p.Dir, p.GoFiles, exports, tmp, funcs, allows)
+		if cerr != nil {
+			return nil, cerr
+		}
+		diags = append(diags, d...)
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// scanAllocFreeAnnotations parses the package files and collects the
+// annotated function ranges and the allow lines.
+func scanAllocFreeAnnotations(dir string, goFiles []string) (funcs []afFunc, allows map[string]map[int]bool, err error) {
+	allows = map[string]map[int]bool{}
+	fset := token.NewFileSet()
+	for _, g := range goFiles {
+		name := filepath.Join(dir, g)
+		f, perr := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, AllocFreeAllow) {
+					line := fset.Position(c.Pos()).Line
+					if allows[name] == nil {
+						allows[name] = map[int]bool{}
+					}
+					// The allowance covers its own line and the next
+					// (comment-above form).
+					allows[name][line] = true
+					allows[name][line+1] = true
+				}
+			}
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, AllocFreeAnnotation) &&
+					!strings.HasPrefix(c.Text, AllocFreeAllow) {
+					funcs = append(funcs, afFunc{
+						name:      fd.Name.Name,
+						file:      name,
+						startLine: fset.Position(fd.Pos()).Line,
+						endLine:   fset.Position(fd.End()).Line,
+					})
+					break
+				}
+			}
+		}
+	}
+	return funcs, allows, nil
+}
+
+// escapeCheck compiles one package with -m and matches the escape
+// diagnostics against the annotated ranges.
+func escapeCheck(importPath, dir string, goFiles []string, exports map[string]string, tmp string, funcs []afFunc, allows map[string]map[int]bool) ([]Diagnostic, error) {
+	var cfg bytes.Buffer
+	for path, export := range exports {
+		if path == importPath {
+			continue
+		}
+		fmt.Fprintf(&cfg, "packagefile %s=%s\n", path, export)
+	}
+	cfgPath := filepath.Join(tmp, "importcfg")
+	if err := os.WriteFile(cfgPath, cfg.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+	args := []string{"tool", "compile",
+		"-p", importPath, "-importcfg", cfgPath, "-m",
+		"-o", filepath.Join(tmp, "out.a")}
+	for _, g := range goFiles {
+		args = append(args, filepath.Join(dir, g))
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		// -m diagnostics exit 0; a nonzero status is a real compile error.
+		return nil, fmt.Errorf("compiling %s for escape analysis: %v\n%s", importPath, err, out.String())
+	}
+
+	var diags []Diagnostic
+	for _, line := range strings.Split(out.String(), "\n") {
+		file, lno, col, msg, ok := splitDiagnostic(line)
+		if !ok {
+			continue
+		}
+		if !escapeRe.MatchString(msg) {
+			continue
+		}
+		for _, fn := range funcs {
+			if file != fn.file || lno < fn.startLine || lno > fn.endLine {
+				continue
+			}
+			if allows[file][lno] {
+				break
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "allocfree",
+				Pos:      token.Position{Filename: file, Line: lno, Column: col},
+				Message: fmt.Sprintf(
+					"heap escape inside //iosched:allocfree function %s: %s — keep the steady path allocation-free or exempt the line with %s <why>",
+					fn.name, msg, AllocFreeAllow),
+			})
+			break
+		}
+	}
+	return diags, nil
+}
+
+// splitDiagnostic parses a `file:line:col: message` compiler line.
+func splitDiagnostic(line string) (file string, lno, col int, msg string, ok bool) {
+	i := strings.Index(line, ": ")
+	if i < 0 {
+		return "", 0, 0, "", false
+	}
+	loc, msg := line[:i], line[i+2:]
+	parts := strings.Split(loc, ":")
+	if len(parts) < 3 {
+		return "", 0, 0, "", false
+	}
+	col, err := strconv.Atoi(parts[len(parts)-1])
+	if err != nil {
+		return "", 0, 0, "", false
+	}
+	lno, err = strconv.Atoi(parts[len(parts)-2])
+	if err != nil {
+		return "", 0, 0, "", false
+	}
+	file = strings.Join(parts[:len(parts)-2], ":")
+	return file, lno, col, msg, true
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// engineversionScope: the campaign cache reuses results across runs
+// keyed by the cell hash; engineVersion participates in every hash so
+// schema or semantics changes invalidate stale entries.
+var engineversionScope = []string{"internal/campaign"}
+
+// FingerprintDirective pins the CellResult / cell-hash schema next to
+// the engineVersion constant:
+//
+//	//iosched:engineversion <hash> engine=<version>
+//
+// The hash covers the field names, types and tags of campaign.CellResult
+// and campaign.fingerprint, transitively through every first-party named
+// struct they embed. Changing any of those fields changes the hash, so
+// the edit fails the analyzer until the directive — which sits on the
+// engineVersion declaration — is refreshed, which is exactly the moment
+// the version bump rule must be considered. The engine= tail must equal
+// the current constant, so the directive cannot be refreshed against a
+// stale version by accident.
+const FingerprintDirective = "//iosched:engineversion"
+
+// EngineVersion machine-enforces the campaign's version bump rule:
+// fields added to, removed from or renamed in campaign.CellResult or
+// the cell-hash inputs (campaign.fingerprint and everything reachable
+// from either) must be accompanied by an edit to the pinned schema
+// fingerprint that lives on the engineVersion declaration — and the
+// diagnostic for a stale fingerprint spells out the bump obligation.
+var EngineVersion = &Analyzer{
+	Name: "engineversion",
+	Doc:  "require an engineVersion bump decision whenever the CellResult / cell-hash schema changes",
+	Run:  runEngineVersion,
+}
+
+// engineVersionRoots are the schema roots the fingerprint covers.
+var engineVersionRoots = []string{"CellResult", "fingerprint"}
+
+func runEngineVersion(pass *Pass) {
+	if !pass.InScope(engineversionScope...) {
+		return
+	}
+	decl, value := findEngineVersionConst(pass)
+	if decl == nil {
+		pass.Reportf(pass.Files[0].Pos(),
+			"campaign package has no `const engineVersion = \"...\"` declaration; the cell cache cannot be invalidated on engine changes without it")
+		return
+	}
+	hash, missing := SchemaFingerprint(pass.Pkg, pass.ModulePath, engineVersionRoots)
+	for _, name := range missing {
+		pass.Reportf(decl.Pos(),
+			"engineversion: schema root type %q not found in package %s; the fingerprint cannot cover it", name, pass.Pkg.Name())
+	}
+	dirHash, dirEngine, found := findFingerprintDirective(pass, decl)
+	if !found {
+		pass.Reportf(decl.Pos(),
+			"engineVersion declaration is missing its schema fingerprint directive; add `%s %s engine=%s` to the declaration's comment (and decide whether this schema requires a version bump)",
+			FingerprintDirective, hash, value)
+		return
+	}
+	if dirHash != hash {
+		pass.Reportf(decl.Pos(),
+			"CellResult / cell-hash schema changed (fingerprint %s, pinned %s): bump engineVersion if older cached cells cannot supply the new schema, then refresh the directive to `%s %s engine=<new version>`",
+			hash, dirHash, FingerprintDirective, hash)
+	}
+	if dirEngine != value {
+		pass.Reportf(decl.Pos(),
+			"fingerprint directive is pinned against engineVersion %q but the constant is %q: refresh the directive's engine= tail together with the version",
+			dirEngine, value)
+	}
+}
+
+// findEngineVersionConst locates the engineVersion string constant.
+func findEngineVersionConst(pass *Pass) (*ast.GenDecl, string) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "engineVersion" || i >= len(vs.Values) {
+						continue
+					}
+					if c, ok := pass.Info.Defs[name].(*types.Const); ok {
+						return gd, strings.Trim(c.Val().String(), `"`)
+					}
+				}
+			}
+		}
+	}
+	return nil, ""
+}
+
+// findFingerprintDirective scans the declaration's doc comment (and the
+// comments inside the decl) for the fingerprint directive.
+func findFingerprintDirective(pass *Pass, decl *ast.GenDecl) (hash, engine string, found bool) {
+	var groups []*ast.CommentGroup
+	if decl.Doc != nil {
+		groups = append(groups, decl.Doc)
+	}
+	for _, spec := range decl.Specs {
+		if vs, ok := spec.(*ast.ValueSpec); ok {
+			if vs.Doc != nil {
+				groups = append(groups, vs.Doc)
+			}
+			if vs.Comment != nil {
+				groups = append(groups, vs.Comment)
+			}
+		}
+	}
+	for _, g := range groups {
+		for _, c := range g.List {
+			rest, ok := strings.CutPrefix(c.Text, FingerprintDirective)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) >= 2 && strings.HasPrefix(fields[1], "engine=") {
+				return fields[0], strings.TrimPrefix(fields[1], "engine="), true
+			}
+			if len(fields) >= 1 {
+				return fields[0], "", true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// SchemaFingerprint hashes the declared field structure (names, types,
+// tags) of the named root structs in pkg, transitively through every
+// named struct type defined in the same module (modulePath prefix; the
+// defining package itself when modulePath is empty). Exported so the
+// driver can print the expected value for new trees.
+func SchemaFingerprint(pkg *types.Package, modulePath string, roots []string) (hash string, missing []string) {
+	inModule := func(p *types.Package) bool {
+		if p == nil {
+			return false
+		}
+		if modulePath == "" {
+			return p == pkg
+		}
+		return p.Path() == modulePath || strings.HasPrefix(p.Path(), modulePath+"/")
+	}
+
+	seen := map[string]*types.Struct{}
+	var visitType func(t types.Type)
+	visitNamed := func(n *types.Named) {
+		obj := n.Obj()
+		if !inModule(obj.Pkg()) {
+			return
+		}
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		key := obj.Pkg().Path() + "." + obj.Name()
+		if _, dup := seen[key]; dup {
+			return
+		}
+		seen[key] = st
+		for i := 0; i < st.NumFields(); i++ {
+			visitType(st.Field(i).Type())
+		}
+	}
+	visitType = func(t types.Type) {
+		switch t := t.(type) {
+		case *types.Named:
+			visitNamed(t)
+		case *types.Pointer:
+			visitType(t.Elem())
+		case *types.Slice:
+			visitType(t.Elem())
+		case *types.Array:
+			visitType(t.Elem())
+		case *types.Map:
+			visitType(t.Key())
+			visitType(t.Elem())
+		}
+	}
+
+	for _, name := range roots {
+		obj := pkg.Scope().Lookup(name)
+		if obj == nil {
+			missing = append(missing, name)
+			continue
+		}
+		if n, ok := obj.Type().(*types.Named); ok {
+			visitNamed(n)
+		}
+	}
+
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	qual := func(p *types.Package) string { return p.Path() }
+	for _, k := range keys {
+		st := seen[k]
+		fmt.Fprintf(h, "type %s struct\n", k)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			fmt.Fprintf(h, "  %s %s %q\n", f.Name(), types.TypeString(f.Type(), qual), st.Tag(i))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:12], missing
+}

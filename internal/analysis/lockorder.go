@@ -1,0 +1,445 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockorderScope: the daemon's documented lock order (docs/performance.md,
+// internal/server/server.go) is mu → shard, never shard → mu: the
+// allocation-round lock may take registry shard locks, but no path that
+// holds a shard lock may reach for mu, or two threads running the two
+// orders deadlock.
+var lockorderScope = []string{"internal/server"}
+
+// lockClass identifies a lock by the named struct owning the field.
+type lockClass int
+
+const (
+	lockNone  lockClass = iota
+	lockMu              // Server.mu — the allocation-round lock
+	lockShard           // regShard.mu — a registry shard lock
+)
+
+// LockOrder statically enforces the daemon's mu → shard lock order. It
+// walks every function in internal/server tracking where a registry
+// shard lock (regShard.mu) is held, and reports
+//
+//   - a direct Server.mu acquisition at such a point,
+//   - a call to a package function that may (transitively) acquire mu,
+//   - a function-valued argument that may acquire mu handed to a
+//     function which invokes its parameter while holding a shard lock
+//     (the registry's forEach callback pattern).
+//
+// Defers are treated as held-to-function-exit; branch bodies are walked
+// with the branch-entry lock state.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "enforce the daemon's documented mu → shard lock order (never shard → mu)",
+	Run:  runLockOrder,
+}
+
+// loCall is one recorded static call or parameter invocation.
+type loCall struct {
+	callee     *types.Func // nil when paramIdx >= 0
+	paramIdx   int         // -1 for static calls
+	pos        token.Pos
+	args       []ast.Expr
+	underShard bool
+}
+
+// loFunc is the walk summary of one function.
+type loFunc struct {
+	decl  *ast.FuncDecl
+	calls []loCall
+	// paramUnderShard marks parameter indices the function invokes while
+	// it holds a shard lock.
+	paramUnderShard map[int]bool
+}
+
+type loState struct {
+	pass    *Pass
+	decls   map[*types.Func]*ast.FuncDecl
+	funcs   map[*types.Func]*loFunc
+	mayMu   map[*types.Func]int // 0 unknown, 1 computing, 2 no, 3 yes
+	curr    *loFunc
+	params  map[*types.Var]int
+	selfObj *types.Func
+}
+
+func runLockOrder(pass *Pass) {
+	if !pass.InScope(lockorderScope...) {
+		return
+	}
+	st := &loState{
+		pass:  pass,
+		decls: map[*types.Func]*ast.FuncDecl{},
+		funcs: map[*types.Func]*loFunc{},
+		mayMu: map[*types.Func]int{},
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					st.decls[obj] = fd
+				}
+			}
+		}
+	}
+	// Phase 1: walk every function, recording lock state and calls.
+	for obj, fd := range st.decls {
+		st.curr = &loFunc{decl: fd, paramUnderShard: map[int]bool{}}
+		st.selfObj = obj
+		st.params = map[*types.Var]int{}
+		sig := obj.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len(); i++ {
+			st.params[sig.Params().At(i)] = i
+		}
+		st.walkStmts(fd.Body.List, 0)
+		st.funcs[obj] = st.curr
+	}
+	// Phase 2: resolve the recorded calls against the call-graph
+	// reachability of Server.mu.
+	for _, fn := range st.funcs {
+		for _, c := range fn.calls {
+			if c.paramIdx >= 0 {
+				continue // handled via the callee's paramUnderShard below
+			}
+			if c.underShard && st.mayAcquireMu(c.callee) {
+				pass.Reportf(c.pos,
+					"call to %s while a registry shard lock is held: %s may acquire Server.mu, violating the documented mu → shard order (never shard → mu)",
+					c.callee.Name(), c.callee.Name())
+			}
+			callee := st.funcs[c.callee]
+			if callee == nil {
+				continue
+			}
+			for idx := range callee.paramUnderShard {
+				if idx >= len(c.args) {
+					continue
+				}
+				if st.argMayAcquireMu(c.args[idx]) {
+					pass.Reportf(c.args[idx].Pos(),
+						"function passed to %s may acquire Server.mu, but %s invokes it while holding a registry shard lock (mu → shard order, never shard → mu)",
+						c.callee.Name(), c.callee.Name())
+				}
+			}
+			// A shard lock already held here extends over the callee's
+			// parameter invocations even when the callee itself takes no
+			// shard lock.
+			if c.underShard {
+				sig := c.callee.Type().(*types.Signature)
+				for i := 0; i < sig.Params().Len(); i++ {
+					if _, ok := sig.Params().At(i).Type().Underlying().(*types.Signature); !ok {
+						continue
+					}
+					if i < len(c.args) && st.argMayAcquireMu(c.args[i]) {
+						pass.Reportf(c.args[i].Pos(),
+							"function that may acquire Server.mu passed to %s while a registry shard lock is held (mu → shard order, never shard → mu)",
+							c.callee.Name())
+					}
+				}
+			}
+		}
+	}
+}
+
+// walkStmts walks a statement list linearly, returning the shard-lock
+// depth at its end. Branch bodies are walked with the entry state and
+// assumed balanced.
+func (st *loState) walkStmts(stmts []ast.Stmt, shard int) int {
+	for _, s := range stmts {
+		shard = st.walkStmt(s, shard)
+	}
+	return shard
+}
+
+func (st *loState) walkStmt(s ast.Stmt, shard int) int {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return st.scanExpr(s.X, shard)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			shard = st.scanExpr(r, shard)
+		}
+		return shard
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the walk (released
+		// only at exit); a deferred Lock is treated as an acquisition.
+		if cls, acquire := st.lockOp(s.Call); cls != lockNone {
+			if cls == lockShard && acquire {
+				return shard + 1
+			}
+			if cls == lockMu && acquire && shard > 0 {
+				st.reportMuUnderShard(s.Call.Pos())
+			}
+			return shard
+		}
+		return st.scanExpr(s.Call, shard)
+	case *ast.GoStmt:
+		// The goroutine body runs without the caller's locks.
+		st.scanExpr(s.Call, 0)
+		return shard
+	case *ast.IfStmt:
+		if s.Init != nil {
+			shard = st.walkStmt(s.Init, shard)
+		}
+		shard = st.scanExpr(s.Cond, shard)
+		st.walkStmts(s.Body.List, shard)
+		if s.Else != nil {
+			st.walkStmt(s.Else, shard)
+		}
+		return shard
+	case *ast.ForStmt:
+		if s.Init != nil {
+			shard = st.walkStmt(s.Init, shard)
+		}
+		if s.Cond != nil {
+			shard = st.scanExpr(s.Cond, shard)
+		}
+		st.walkStmts(s.Body.List, shard)
+		return shard
+	case *ast.RangeStmt:
+		shard = st.scanExpr(s.X, shard)
+		st.walkStmts(s.Body.List, shard)
+		return shard
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			shard = st.walkStmt(s.Init, shard)
+		}
+		if s.Tag != nil {
+			shard = st.scanExpr(s.Tag, shard)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				st.walkStmts(cc.Body, shard)
+			}
+		}
+		return shard
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				st.walkStmts(cc.Body, shard)
+			}
+		}
+		return shard
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				st.walkStmts(cc.Body, shard)
+			}
+		}
+		return shard
+	case *ast.BlockStmt:
+		st.walkStmts(s.List, shard)
+		return shard
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			shard = st.scanExpr(e, shard)
+		}
+		return shard
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.LabeledStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				st.handleCall(call, shard)
+			}
+			return true
+		})
+		return shard
+	}
+	return shard
+}
+
+// scanExpr processes every call inside an expression, updating the
+// shard depth for statement-level Lock/Unlock calls.
+func (st *loState) scanExpr(e ast.Expr, shard int) int {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if cls, acquire := st.lockOp(call); cls != lockNone {
+			switch {
+			case cls == lockShard && acquire:
+				return shard + 1
+			case cls == lockShard && !acquire:
+				if shard > 0 {
+					return shard - 1
+				}
+				return 0
+			case cls == lockMu && acquire && shard > 0:
+				st.reportMuUnderShard(call.Pos())
+			}
+			return shard
+		}
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// The literal's body runs when it is invoked, not here; it
+			// is examined through argMayAcquireMu at the invocation
+			// edges.
+			return false
+		case *ast.CallExpr:
+			if cls, acquire := st.lockOp(n); cls != lockNone {
+				if cls == lockMu && acquire && shard > 0 {
+					st.reportMuUnderShard(n.Pos())
+				}
+				return true
+			}
+			st.handleCall(n, shard)
+		}
+		return true
+	})
+	return shard
+}
+
+func (st *loState) reportMuUnderShard(pos token.Pos) {
+	st.pass.Reportf(pos,
+		"Server.mu acquired while a registry shard lock is held: the documented order is mu → shard, never shard → mu (docs/performance.md)")
+}
+
+// handleCall records a static in-package call or a parameter invocation.
+func (st *loState) handleCall(call *ast.CallExpr, shard int) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := st.pass.Info.Uses[fun].(type) {
+		case *types.Func:
+			if obj.Pkg() == st.pass.Pkg {
+				st.curr.calls = append(st.curr.calls, loCall{
+					callee: obj, paramIdx: -1, pos: call.Pos(),
+					args: call.Args, underShard: shard > 0,
+				})
+			}
+		case *types.Var:
+			if idx, ok := st.params[obj]; ok {
+				st.curr.calls = append(st.curr.calls, loCall{
+					paramIdx: idx, pos: call.Pos(), args: call.Args,
+					underShard: shard > 0,
+				})
+				if shard > 0 {
+					st.curr.paramUnderShard[idx] = true
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := st.pass.Info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() == st.pass.Pkg {
+			st.curr.calls = append(st.curr.calls, loCall{
+				callee: obj, paramIdx: -1, pos: call.Pos(),
+				args: call.Args, underShard: shard > 0,
+			})
+		}
+	}
+}
+
+// lockOp classifies a call as a lock acquisition or release on one of
+// the ordered classes. acquire is true for Lock/RLock/TryLock/TryRLock.
+func (st *loState) lockOp(call *ast.CallExpr) (cls lockClass, acquire bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockNone, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return lockNone, false
+	}
+	field, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || field.Sel.Name != "mu" {
+		return lockNone, false
+	}
+	t := st.pass.Info.TypeOf(field.X)
+	if t == nil {
+		return lockNone, false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return lockNone, false
+	}
+	switch n.Obj().Name() {
+	case "Server":
+		return lockMu, acquire
+	case "regShard":
+		return lockShard, acquire
+	}
+	return lockNone, false
+}
+
+// argMayAcquireMu reports whether a function-valued argument may
+// (transitively) acquire Server.mu: a function literal whose body may,
+// or a reference to a package function that may.
+func (st *loState) argMayAcquireMu(arg ast.Expr) bool {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		return st.bodyMayAcquireMu(a.Body)
+	case *ast.Ident:
+		if obj, ok := st.pass.Info.Uses[a].(*types.Func); ok {
+			return st.mayAcquireMu(obj)
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := st.pass.Info.Uses[a.Sel].(*types.Func); ok {
+			return st.mayAcquireMu(obj)
+		}
+	}
+	return false
+}
+
+// mayAcquireMu reports whether fn may acquire Server.mu, directly or
+// through any in-package call chain. Cycles resolve to false.
+func (st *loState) mayAcquireMu(fn *types.Func) bool {
+	switch st.mayMu[fn] {
+	case 1: // computing: break the cycle
+		return false
+	case 2:
+		return false
+	case 3:
+		return true
+	}
+	decl, ok := st.decls[fn]
+	if !ok {
+		st.mayMu[fn] = 2
+		return false
+	}
+	st.mayMu[fn] = 1
+	res := st.bodyMayAcquireMu(decl.Body)
+	if res {
+		st.mayMu[fn] = 3
+	} else {
+		st.mayMu[fn] = 2
+	}
+	return res
+}
+
+func (st *loState) bodyMayAcquireMu(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if cls, acquire := st.lockOp(call); cls == lockMu && acquire {
+			found = true
+			return false
+		}
+		var obj types.Object
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			obj = st.pass.Info.Uses[fun]
+		case *ast.SelectorExpr:
+			obj = st.pass.Info.Uses[fun.Sel]
+		}
+		if f, ok := obj.(*types.Func); ok && f.Pkg() == st.pass.Pkg {
+			if st.mayAcquireMu(f) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,7 @@
+// Package dectrace is a shape-compatible stand-in for the real
+// internal/dectrace package (see fakes/telemetry).
+package dectrace
+
+type Record struct{ Seq uint64 }
+
+type Sink interface{ Observe(*Record) }

@@ -1,0 +1,17 @@
+// Package campaign is an engineversion fixture: the engineVersion
+// constant exists but lacks its schema fingerprint directive.
+package campaign
+
+type CellResult struct {
+	Dilation float64
+	Stats    runStats
+}
+
+type runStats struct{ N int }
+
+type fingerprint struct {
+	Workload string
+	Seed     int64
+}
+
+const engineVersion = "iosched-sim/1" // want "missing its schema fingerprint directive"

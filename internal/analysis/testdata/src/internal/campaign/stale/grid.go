@@ -1,0 +1,15 @@
+// Package stale is an engineversion fixture: the pinned fingerprint no
+// longer matches the schema and the engine= tail is out of date, so the
+// analyzer demands both a bump decision and a directive refresh.
+package stale
+
+type CellResult struct {
+	Dilation float64
+}
+
+type fingerprint struct {
+	Seed int64
+}
+
+//iosched:engineversion 000000000000 engine=iosched-sim/0
+const engineVersion = "iosched-sim/1" // want "schema changed" "engine= tail"

@@ -1,0 +1,57 @@
+// Package des is the determinism analyzer's fixture: every
+// nondeterminism source the analyzer forbids in an engine decision
+// path, next to the accepted alternative.
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type queue struct {
+	byID map[int]float64
+}
+
+// total walks the map directly — the iteration order feeds the summation
+// order, which the analyzer cannot prove harmless.
+func (q *queue) total() float64 {
+	sum := 0.0
+	for _, v := range q.byID { // want "range over map"
+		sum += v
+	}
+	return sum
+}
+
+// justified carries an audited suppression: the diagnostic is recorded
+// but silenced, so no want expectation applies.
+func (q *queue) justified() int {
+	n := 0
+	//ioschedvet:ignore determinism fixture: counting map entries is order-independent
+	for range q.byID {
+		n++
+	}
+	return n
+}
+
+func stamp() time.Duration {
+	t := time.Now()      // want "time.Now"
+	return time.Since(t) // want "time.Since"
+}
+
+func jitter() int {
+	return rand.Intn(10) // want "unseeded global source"
+}
+
+// seeded draws from an explicitly seeded generator: methods on
+// *rand.Rand are fine.
+func seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+func order(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })       // want "sort.Slice in a hot path"
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "sort.SliceStable"
+	sort.Float64s(xs)                                                  // closure-free stdlib sorts are allowed
+}

@@ -1,0 +1,97 @@
+// Package server is the lockorder analyzer's fixture: the daemon's
+// documented mu → shard order, violated directly, transitively and
+// through the registry's callback pattern.
+package server
+
+import "sync"
+
+type Server struct {
+	mu  sync.Mutex
+	reg registry
+	n   int
+}
+
+type registry struct{ shards [2]regShard }
+
+type regShard struct {
+	mu       sync.RWMutex
+	sessions map[int]int
+}
+
+// orderedFine takes a shard lock while holding mu — the documented legal
+// direction.
+func orderedFine(s *Server) {
+	s.mu.Lock()
+	sh := &s.reg.shards[0]
+	sh.mu.RLock()
+	_ = len(sh.sessions)
+	sh.mu.RUnlock()
+	s.mu.Unlock()
+}
+
+func shardThenMu(s *Server) {
+	sh := &s.reg.shards[0]
+	sh.mu.Lock()
+	s.mu.Lock() // want "never shard → mu"
+	s.n++
+	s.mu.Unlock()
+	sh.mu.Unlock()
+}
+
+func bumpLocked(s *Server) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// transitive reaches mu through a call chain while a shard lock is held.
+func transitive(s *Server) {
+	sh := &s.reg.shards[1]
+	sh.mu.RLock()
+	bumpLocked(s) // want "may acquire Server.mu"
+	sh.mu.RUnlock()
+}
+
+// afterRelease calls the same helper after dropping the shard lock: legal.
+func afterRelease(s *Server) {
+	sh := &s.reg.shards[1]
+	sh.mu.RLock()
+	_ = len(sh.sessions)
+	sh.mu.RUnlock()
+	bumpLocked(s)
+}
+
+// forEach invokes its callback under the shard lock — the registry's
+// iteration pattern.
+func forEach(sh *regShard, fn func(id int)) {
+	sh.mu.RLock()
+	for id := range sh.sessions {
+		fn(id)
+	}
+	sh.mu.RUnlock()
+}
+
+func badCallback(s *Server, sh *regShard) {
+	forEach(sh, func(id int) { // want "holding a registry shard lock"
+		s.mu.Lock()
+		s.n += id
+		s.mu.Unlock()
+	})
+}
+
+func goodCallback(sh *regShard) {
+	total := 0
+	forEach(sh, func(id int) {
+		total += id
+	})
+	_ = total
+}
+
+// deferred keeps the shard lock held to function exit; the helper call
+// below it is still under the lock.
+func deferred(s *Server) {
+	sh := &s.reg.shards[0]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	bumpLocked(s) // want "may acquire Server.mu"
+}

@@ -105,6 +105,7 @@ func (g *groupAcc) reduce(k GroupKey) GroupSummary {
 // scheduler).
 func (a *Aggregator) Groups() []GroupSummary {
 	keys := make([]GroupKey, 0, len(a.groups))
+	//ioschedvet:ignore determinism key collection only; the slice is sorted by (platform, workload, scheduler) immediately below before any output is derived
 	for k := range a.groups {
 		keys = append(keys, k)
 	}

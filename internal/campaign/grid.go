@@ -30,6 +30,15 @@ import (
 // grew TelemetrySampleS and CellResult the windowed telemetry summary it
 // enables; v5 entries for a telemetry-enabled spec would replay with the
 // summary silently absent.
+//
+// The directive below pins the CellResult / cell-hash schema; the
+// engineversion analyzer recomputes the fingerprint on every run, so a
+// schema edit fails `go vet` until the directive is refreshed (print the
+// new hash with `go run ./cmd/ioschedvet -fingerprint`) — which is
+// exactly the moment to decide whether the change needs a version bump
+// per the rules above.
+//
+//iosched:engineversion 86255b4eaa8a engine=iosched-sim/6
 const engineVersion = "iosched-sim/6"
 
 // Cell is one point of the campaign grid: a fully resolved simulation to

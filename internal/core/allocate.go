@@ -48,6 +48,8 @@ func GreedyAllocate(order []*AppView, cap Capacity) []Grant {
 // scratch buffer truncated to length zero), so hot paths re-deciding at
 // every simulation event reuse one grant buffer instead of allocating per
 // decision. It returns the extended slice.
+//
+//iosched:allocfree
 func GreedyAllocateAppend(dst []Grant, order []*AppView, cap Capacity) []Grant {
 	avail := cap.TotalBW
 	for _, v := range order {
@@ -90,8 +92,11 @@ type Scratch struct {
 
 // Inner returns the scratch reserved for a wrapped scheduler's own
 // buffers, so wrapper and inner policy never clobber each other's slices.
+//
+//iosched:allocfree
 func (s *Scratch) Inner() *Scratch {
 	if s.inner == nil {
+		//iosched:allocfree-allow first-use child Scratch, allocated once and reused for the rest of the run
 		s.inner = &Scratch{}
 	}
 	return s.inner
@@ -109,6 +114,8 @@ type ScratchAllocator interface {
 
 // AllocateWith dispatches to AllocateInto when the scheduler supports
 // scratch reuse and falls back to the allocating Allocate path otherwise.
+//
+//iosched:allocfree
 func AllocateWith(s Scheduler, scr *Scratch, now float64, apps []*AppView, cap Capacity) []Grant {
 	if sa, ok := s.(ScratchAllocator); ok {
 		return sa.AllocateInto(scr, now, apps, cap)
@@ -253,11 +260,15 @@ func IsSaturating(s Scheduler) bool {
 // sortViewsStable sorts views in place, stably and allocation-free.
 // Stable sorts have a unique output, so results are bit-identical to
 // sort.SliceStable.
+//
+//iosched:allocfree
 func sortViewsStable(v []*AppView, less func(a, b *AppView) bool) {
 	xsort.Stable(v, less)
 }
 
 // sortIntsBy sorts idx in place by less, stably; allocation-free.
+//
+//iosched:allocfree
 func sortIntsBy(idx []int, less func(a, b int) bool) {
 	xsort.Stable(idx, less)
 }
@@ -279,6 +290,8 @@ func MaxMinFairShare(caps []float64, total float64) []float64 {
 // index scratch; out and idx must have the length of caps. Engines that
 // re-share bandwidth at every event use it to keep the hot path
 // allocation-free.
+//
+//iosched:allocfree
 func MaxMinFairShareInto(out []float64, idx []int, caps []float64, total float64) {
 	n := len(caps)
 	for i := range out {
@@ -326,6 +339,8 @@ func WeightedFairShare(caps, weights []float64, total float64) []float64 {
 
 // weightedFairShareInto is WeightedFairShare writing into out, with idx as
 // index scratch; out and idx must have the length of caps.
+//
+//iosched:allocfree
 func weightedFairShareInto(out []float64, idx []int, caps, weights []float64, total float64) {
 	n := len(caps)
 	for i := range out {
@@ -335,6 +350,7 @@ func weightedFairShareInto(out []float64, idx []int, caps, weights []float64, to
 		return
 	}
 	if len(weights) != n {
+		//iosched:allocfree-allow panic path: the Sprintf only runs on a caller contract violation
 		panic(fmt.Sprintf("core: %d weights for %d caps", len(weights), n))
 	}
 	// Saturate in increasing order of cap/weight: once an application's

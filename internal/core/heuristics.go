@@ -72,6 +72,8 @@ func (h *Heuristic) Allocate(now float64, apps []*AppView, cap Capacity) []Grant
 
 // AllocateInto implements ScratchAllocator: identical decisions to
 // Allocate, reusing the scratch's order and grant buffers.
+//
+//iosched:allocfree
 func (h *Heuristic) AllocateInto(scr *Scratch, now float64, apps []*AppView, cap Capacity) []Grant {
 	scr.order = append(scr.order[:0], apps...)
 	order := scr.order

@@ -4,9 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/platform"
+	"repro/internal/xsort"
 )
 
 // builder incrementally inserts instances into a period.
@@ -166,11 +166,11 @@ func buildThrou(p *platform.Platform, apps []*platform.App, T float64, descendin
 		}
 		return workOf(a) / tio
 	}
-	sort.SliceStable(order, func(x, y int) bool {
+	xsort.Stable(order, func(x, y int) bool {
 		if descending {
-			return key(order[x]) > key(order[y])
+			return key(x) > key(y)
 		}
-		return key(order[x]) < key(order[y])
+		return key(x) < key(y)
 	})
 	for _, i := range order {
 		for b.tryInsert(i) {

@@ -3,9 +3,9 @@ package periodic
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/platform"
+	"repro/internal/xsort"
 )
 
 // Slot is one scheduled instance of an application inside the period:
@@ -138,11 +138,11 @@ func (s *Schedule) Validate() error {
 		}
 		_ = i
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].t != edges[j].t {
-			return edges[i].t < edges[j].t
+	xsort.Stable(edges, func(a, b edge) bool {
+		if a.t != b.t {
+			return a.t < b.t
 		}
-		return edges[i].bw < edges[j].bw // process ends before starts at ties
+		return a.bw < b.bw // process ends before starts at ties
 	})
 	var usage float64
 	for _, e := range edges {

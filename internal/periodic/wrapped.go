@@ -3,9 +3,9 @@ package periodic
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/platform"
+	"repro/internal/xsort"
 )
 
 // This file implements the *general* periodic schedule of Section 3.2.1,
@@ -164,11 +164,11 @@ func (s *WrappedSchedule) Validate() error {
 				return fmt.Errorf("app %d slot %d: transfers %g GiB, want %g", a.ID, j, moved, vol)
 			}
 		}
-		sort.Slice(own, func(x, y int) bool {
-			if own[x].t != own[y].t {
-				return own[x].t < own[y].t
+		xsort.Stable(own, func(a, b edge) bool {
+			if a.t != b.t {
+				return a.t < b.t
 			}
-			return own[x].bw < own[y].bw
+			return a.bw < b.bw
 		})
 		depth := 0.0
 		for _, e := range own {
@@ -179,11 +179,11 @@ func (s *WrappedSchedule) Validate() error {
 		}
 	}
 
-	sort.Slice(edges, func(x, y int) bool {
-		if edges[x].t != edges[y].t {
-			return edges[x].t < edges[y].t
+	xsort.Stable(edges, func(a, b edge) bool {
+		if a.t != b.t {
+			return a.t < b.t
 		}
-		return edges[x].bw < edges[y].bw
+		return a.bw < b.bw
 	})
 	var usage float64
 	for _, e := range edges {

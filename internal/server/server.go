@@ -591,7 +591,7 @@ func (s *Server) writeLoop(sess *session) {
 				s.logf("app %d: push: %v", sess.view.ID, err)
 				return
 			}
-			if buf[i].enq != 0 {
+			if sess.pushHist != nil && buf[i].enq != 0 {
 				sess.pushHist.Observe(float64(time.Now().UnixNano()-buf[i].enq) / 1e9)
 			}
 		}
@@ -720,6 +720,8 @@ func (s *Server) candRemoveLocked(sess *session) {
 // decision round must not reach into the sharded registry (lock
 // ordering forbids shard → mu nesting, and grants can only target
 // candidates anyway) and must not allocate. Callers hold s.mu.
+//
+//iosched:allocfree
 func (s *Server) candByIDLocked(id int) *session {
 	lo, hi := 0, len(s.candidates)
 	for lo < hi {
@@ -738,6 +740,8 @@ func (s *Server) candByIDLocked(id int) *session {
 
 // wantViewsLocked returns the candidate views in ID order, rebuilding the
 // cached slice only when the candidate set changed.
+//
+//iosched:allocfree
 func (s *Server) wantViewsLocked() []*core.AppView {
 	if !s.wantValid || s.wantVersion != s.candVersion {
 		s.want = s.want[:0]
@@ -763,6 +767,8 @@ type pushGrant struct {
 // the session outboxes. kind names what triggered the round (the client
 // message type, "hello", "leave", "wake" or "policy") for the decision
 // trace. Callers hold s.mu.
+//
+//iosched:allocfree
 func (s *Server) roundLocked(kind string) {
 	var t0 time.Time
 	if s.tel != nil {
@@ -783,8 +789,10 @@ func (s *Server) roundLocked(kind string) {
 // telemetry.PointBuilder operations, as the simulator's capture site, so
 // the two engines' series agree point for point on equivalent histories
 // (TestDaemonTelemetryMatchesSimulator). Callers hold s.mu.
+//
+//iosched:allocfree
 func (s *Server) observeLocked(now float64) {
-	if !s.tel.Due(now) {
+	if s.tel == nil || !s.tel.Due(now) {
 		return
 	}
 	s.tel.Record(s.livePointLocked(now))
@@ -797,6 +805,8 @@ func (s *Server) observeLocked(now float64) {
 
 // livePointLocked builds the current congestion sample. Callers hold
 // s.mu.
+//
+//iosched:allocfree
 func (s *Server) livePointLocked(now float64) telemetry.Point {
 	var b telemetry.PointBuilder
 	for _, sess := range s.candidates {
@@ -809,6 +819,8 @@ func (s *Server) livePointLocked(now float64) telemetry.Point {
 // provably the previous one, apply the known uncongested outcome for
 // saturating policies, or invoke the policy. Grant pushes for sessions
 // whose bandwidth verdict changed are appended to s.batch.
+//
+//iosched:allocfree
 func (s *Server) decideLocked(now float64, kind string) {
 	if len(s.candidates) == 0 {
 		return
@@ -854,6 +866,7 @@ func (s *Server) decideLocked(now float64, kind string) {
 		s.decidedVersion = s.candVersion
 		if s.cfg.DecisionTrace != nil {
 			s.emitTraceLocked(core.SkipSingleFullGrant, now, kind, cap, s.candVersion, apps,
+				//iosched:allocfree-allow trace-enabled branch only: the GrantRecord slice is built under the DecisionTrace != nil gate
 				[]dectrace.GrantRecord{{ID: sess.view.ID, BW: bw}})
 		}
 		return
@@ -928,6 +941,9 @@ func (s *Server) decideLocked(now float64, kind string) {
 // sink. Callers hold s.mu and pass pre-captured apps/grants (nil for memo
 // skips). Counters in the record are post-round.
 func (s *Server) emitTraceLocked(verdict core.SkipReason, now float64, kind string, cap core.Capacity, ver uint64, apps []dectrace.AppRecord, grants []dectrace.GrantRecord) {
+	if s.cfg.DecisionTrace == nil {
+		return
+	}
 	s.cfg.DecisionTrace.Observe(&dectrace.Record{
 		Seq:         s.rounds,
 		Time:        now,
@@ -953,6 +969,8 @@ func (s *Server) emitTraceLocked(verdict core.SkipReason, now float64, kind stri
 // toggles, a preemption restarts PendingSince. Each such change bumps
 // candVersion so the memo over the pre-application inputs dies with it
 // (the iosched-sim/3 rule shared with internal/sim).
+//
+//iosched:allocfree
 func (s *Server) applyGrantLocked(sess *session, bw, now float64) {
 	sess.bw = bw
 	if bw > 0 {
@@ -985,6 +1003,8 @@ func (s *Server) applyGrantLocked(sess *session, bw, now float64) {
 // flushLocked moves the round's push batch into the session outboxes.
 // Enqueueing under s.mu pins each session's wire order to the round
 // order; the actual writes happen in the per-session writer goroutines.
+//
+//iosched:allocfree
 func (s *Server) flushLocked() {
 	for i := range s.batch {
 		s.batch[i].sess.enqueue(s.batch[i].msg)
@@ -998,16 +1018,20 @@ func (s *Server) flushLocked() {
 // armWakeLocked (re)arms the policy's self-wake timer, or disarms it when
 // the candidate set is empty (a wake without candidates could only fire a
 // spurious round). Callers hold s.mu.
+//
+//iosched:allocfree
 func (s *Server) armWakeLocked(now float64) {
 	if s.caps.Waker == nil || s.closed.Load() {
 		return
 	}
 	if len(s.candidates) == 0 {
+		//iosched:allocfree-allow inlined time.Timer.Stop panic-path string; unreachable once the timer exists
 		s.disarmWakeLocked()
 		return
 	}
 	wake, want := s.caps.Waker.NextWake(now, s.wantViewsLocked())
 	if !want || wake <= now {
+		//iosched:allocfree-allow inlined time.Timer.Stop panic-path string; unreachable once the timer exists
 		s.disarmWakeLocked()
 		return
 	}
@@ -1016,8 +1040,10 @@ func (s *Server) armWakeLocked(now float64) {
 	}
 	d := time.Duration((wake - now) * float64(time.Second))
 	if s.wake == nil {
+		//iosched:allocfree-allow one-time timer construction; every later re-arm goes through Reset
 		s.wake = time.AfterFunc(d, s.onWake)
 	} else {
+		//iosched:allocfree-allow inlined time.Timer.Stop panic-path string; unreachable once the timer exists
 		s.wake.Stop()
 		s.wake.Reset(d)
 	}

@@ -971,6 +971,9 @@ func kindString(mask uint8) string {
 // Callers pass pre-captured apps/grants (nil for memo skips) and the
 // candidate-set version the decision is memoized under.
 func (s *simulation) emitTrace(verdict core.SkipReason, cap core.Capacity, ver uint64, apps []dectrace.AppRecord, grants []dectrace.GrantRecord) {
+	if s.cfg.DecisionTrace == nil {
+		return
+	}
 	s.cfg.DecisionTrace.Observe(&dectrace.Record{
 		Seq:         uint64(s.decisions + s.skipped),
 		Time:        s.now,

@@ -64,6 +64,8 @@ func bucketUpper(i int) float64 {
 }
 
 // Observe records one value in seconds.
+//
+//iosched:allocfree
 func (h *Histogram) Observe(v float64) {
 	h.counts[bucketIndex(v)].Add(1)
 	for {
@@ -76,6 +78,8 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // ObserveDuration records a wall-clock duration.
+//
+//iosched:allocfree
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
 // HistogramBucket is one non-empty bucket of a snapshot: Count values

@@ -70,6 +70,8 @@ type PointBuilder struct {
 
 // Add folds one candidate into the point: its view, its currently
 // applied grant and the per-node bandwidth b.
+//
+//iosched:allocfree
 func (b *PointBuilder) Add(now float64, v *core.AppView, bw, nodeBW float64) {
 	b.n++
 	b.bwSum += bw
@@ -85,6 +87,8 @@ func (b *PointBuilder) Add(now float64, v *core.AppView, bw, nodeBW float64) {
 // Finish closes the walk and returns the point. totalBW is the
 // allocatable capacity B the utilization and backlog are normalized by;
 // bbLevel is the burst-buffer fill (0 without one).
+//
+//iosched:allocfree
 func (b *PointBuilder) Finish(now, totalBW, bbLevel float64) Point {
 	pt := Point{
 		Time:        now,
@@ -158,6 +162,8 @@ type namedHist struct {
 // Due reports whether a sample at engine time t would be accepted under
 // MinInterval. Engines check it before paying the cost of building a
 // Point; it does not change probe state.
+//
+//iosched:allocfree
 func (p *Probe) Due(t float64) bool {
 	p.mu.Lock()
 	due := !p.hasLast || t-p.lastT >= p.MinInterval
@@ -167,12 +173,15 @@ func (p *Probe) Due(t float64) bool {
 
 // Record appends one point (and advances the MinInterval gate). Points
 // must be recorded in nondecreasing Time order.
+//
+//iosched:allocfree
 func (p *Probe) Record(pt Point) {
 	p.mu.Lock()
 	p.lastT = pt.Time
 	p.hasLast = true
 	if p.MaxPoints > 0 {
 		if p.pts == nil {
+			//iosched:allocfree-allow one-time ring-buffer allocation on the first bounded record
 			p.pts = make([]Point, 0, p.MaxPoints)
 		}
 		if len(p.pts) < p.MaxPoints {
@@ -193,9 +202,12 @@ func (p *Probe) Record(pt Point) {
 
 // RecordApp appends one observation of a tracked application's running
 // stretch series.
+//
+//iosched:allocfree
 func (p *Probe) RecordApp(id int, t, stretch float64) {
 	p.mu.Lock()
 	if p.apps == nil {
+		//iosched:allocfree-allow first-use map for the tracked-app stretch series
 		p.apps = make(map[int][]Sample)
 	}
 	p.apps[id] = append(p.apps[id], Sample{T: t, V: stretch})
