@@ -203,6 +203,57 @@ func BenchmarkFig6aTelemetry(b *testing.B) {
 	})
 }
 
+// BenchmarkFig6aHealth prices the health layer on the fig6a cell: the
+// "on" variant attaches a monitor (default thresholds) observing every
+// decision point, the "off" variant runs the identical simulation with
+// a nil monitor. "off" must match the unmonitored cell baseline within
+// the benchgate tolerance — the enforced form of the "disabled health
+// is free" claim. Unlike the telemetry probe, a monitor is per-run
+// state (detector clocks follow the engine clock), so "on" builds a
+// fresh one each iteration exactly as the campaign runner does; its
+// cost therefore includes monitor construction plus the evidence
+// strings of the firing transitions this cell genuinely triggers.
+func BenchmarkFig6aHealth(b *testing.B) {
+	wcfg := iosched.Fig6Workload(iosched.Fig6A, 7)
+	apps, err := iosched.GenerateWorkload(wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := iosched.MaxSysEff()
+	run := func(b *testing.B, mon func() *iosched.HealthMonitor) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var anomalies int
+		for i := 0; i < b.N; i++ {
+			cfg := iosched.SimConfig{
+				Platform:  wcfg.Platform.WithoutBB(),
+				Scheduler: sched,
+				Apps:      apps,
+			}
+			if mon != nil {
+				cfg.Health = mon()
+			}
+			res, err := iosched.Simulate(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mon != nil {
+				anomalies = res.Anomalies
+			}
+		}
+		if mon != nil {
+			b.ReportMetric(float64(anomalies), "anomalies")
+		}
+	}
+	b.Run("on", func(b *testing.B) {
+		run(b, func() *iosched.HealthMonitor { return iosched.NewHealthMonitor(iosched.HealthConfig{}) })
+	})
+	b.Run("off", func(b *testing.B) {
+		run(b, nil)
+	})
+}
+
 // population100k builds the scaled synthetic population behind
 // BenchmarkFig6a100k: the fig6a periodic shape (compute phase, then one
 // bulk write) pushed three orders of magnitude past the paper's Figure 6

@@ -41,6 +41,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/buildinfo"
 )
 
 // Baseline is the committed reference file (BENCH_baseline.json).
@@ -86,7 +88,12 @@ func main() {
 	require := flag.String("require", "", "comma-separated benchmark names that must appear on stdin")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout (raw bench lines go to stderr)")
 	flag.StringVar(&step, "step", "", "CI step name to include in failure output")
+	version := flag.Bool("version", false, "print build metadata and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "benchgate")
+		return
+	}
 
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/campaign"
 	"repro/internal/report"
 )
@@ -42,6 +43,9 @@ func main() {
 		err = cmdDiff(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage(os.Stdout)
+		return
+	case "-version", "--version", "version":
+		buildinfo.Print(os.Stdout, "iocampaign")
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "iocampaign: unknown subcommand %q\n\n", os.Args[1])

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/telemetry"
@@ -51,8 +52,13 @@ func main() {
 		progress = flag.Int("progress", 1, "interim progress reports per transfer")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-cycle grant wait limit")
 		ramp     = flag.Duration("ramp", 0, "spread client connections evenly over this window (0 connects all at once)")
+		version  = flag.Bool("version", false, "print build metadata and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "ioloadgen")
+		return
+	}
 
 	var embedded *server.Server
 	target := *addr

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ior"
@@ -28,8 +29,13 @@ func main() {
 		work     = flag.Float64("work", 2, "compute seconds per iteration")
 		block    = flag.Float64("block", 0.1, "per-rank write size per iteration (GiB)")
 		seed     = flag.Int64("seed", 0, "jitter seed")
+		version  = flag.Bool("version", false, "print build metadata and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "iorbench")
+		return
+	}
 
 	sc, err := ior.ParseScenario(*scenario)
 	if err != nil {

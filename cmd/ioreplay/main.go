@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/replay"
@@ -27,8 +28,13 @@ func main() {
 		policies  = flag.String("policies", "", "comma-separated scheduler names (default: the paper's Priority extremes)")
 		top       = flag.Int("top", 0, "only report the N most congested windows (0 = all)")
 		csvDir    = flag.String("csv", "", "directory for CSV export")
+		version   = flag.Bool("version", false, "print build metadata and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "ioreplay")
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "ioreplay: -in <trace file> is required")
 		os.Exit(2)

@@ -42,6 +42,20 @@
 // with the live gauges — in Prometheus text format at /metrics.prom;
 // -telemetry-points 0 disables the probe, leaving the round path exactly
 // as free as before (see docs/observability.md).
+//
+// On top of the probe, a health monitor (internal/health) runs streaming
+// anomaly detectors — I/O stall, fairness collapse, persistent
+// congestion, imminent burst-buffer overflow, grant-push latency SLO
+// burn — over every allocation round. /healthz deepens into the
+// per-detector verdict, /alerts serves the transition ring, and a flight
+// recorder freezes telemetry + decision traces + alerts + a live
+// snapshot into a deterministic incident bundle: automatically when a
+// detector fires (rate-limited, to -incident-dir), on SIGQUIT, or on
+// demand at /debug/flight. Bundles replay offline with
+// `iosim -run incident <bundle>`. A firing detector also kicks the
+// advisor loop immediately and collapses its patience guard, so policy
+// switches chase live anomalies instead of the next tick. -health=false
+// removes the monitor entirely (a nil monitor costs nothing).
 package main
 
 import (
@@ -54,14 +68,17 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"slices"
 	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/dectrace"
+	"repro/internal/health"
 	"repro/internal/platform"
 	"repro/internal/server"
 	"repro/internal/telemetry"
@@ -91,8 +108,18 @@ func main() {
 
 		telPoints   = flag.Int("telemetry-points", 4096, "telemetry ring size: congestion samples kept for /telemetry (0 disables the probe and its latency histograms)")
 		telInterval = flag.Duration("telemetry-interval", 0, "minimum spacing between telemetry samples (0 samples every round)")
+
+		healthOn    = flag.Bool("health", true, "run streaming anomaly detectors over every allocation round (false removes the monitor entirely)")
+		healthSLO   = flag.Float64("health-slo", 0.5, "grant-push latency SLO in seconds for the slo_burn detector (0 disables it; needs the telemetry probe)")
+		incidentDir = flag.String("incident-dir", "", "write incident bundles here when a detector fires (empty: only SIGQUIT and /debug/flight dump bundles)")
+
+		version = flag.Bool("version", false, "print build metadata and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "ioschedd")
+		return
+	}
 
 	B, b := *totalBW, *nodeBW
 	var preset *platform.Platform
@@ -160,6 +187,28 @@ func main() {
 		}
 	}
 
+	// The monitor's OnAlert runs on the round path with the server lock
+	// held, so it only forwards the transition to a buffered channel; the
+	// drain goroutine below does the logging, advisor kicks and bundle
+	// dumps.
+	var mon *health.Monitor
+	var alertCh chan health.Alert
+	if *healthOn {
+		alertCh = make(chan health.Alert, 64)
+		hcfg := health.Config{}
+		if *healthSLO > 0 && probe != nil {
+			hcfg.SLOLatency = *healthSLO
+			hcfg.SLOSource = probe.Histogram("ioschedd_grant_push_delay_seconds")
+		}
+		hcfg.OnAlert = func(a health.Alert) {
+			select {
+			case alertCh <- a:
+			default: // never block the round path
+			}
+		}
+		mon = health.New(hcfg)
+	}
+
 	srv, err := server.New(server.Config{
 		Policy:        pol,
 		TotalBW:       B,
@@ -167,9 +216,32 @@ func main() {
 		Logger:        logger,
 		DecisionTrace: sink,
 		Telemetry:     probe,
+		Health:        mon,
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	// The flight recorder assembles incident bundles from whatever
+	// sources are attached; a section with no source is simply absent.
+	var flight *health.Recorder
+	if mon != nil {
+		flight = &health.Recorder{
+			Monitor: mon,
+			Live: func() json.RawMessage {
+				b, err := json.Marshal(srv.Snapshot())
+				if err != nil {
+					return nil
+				}
+				return b
+			},
+		}
+		if probe != nil {
+			flight.Telemetry = probe.Snapshot
+		}
+		if ring != nil {
+			flight.Decisions = ring.Records
+		}
 	}
 
 	var adv *advisorLoop
@@ -185,6 +257,7 @@ func main() {
 		}
 		adv = &advisorLoop{
 			srv:      srv,
+			mon:      mon,
 			platform: preset, // nil synthesizes one from each snapshot
 			panel:    panel,
 			horizon:  *advHrzn,
@@ -193,11 +266,40 @@ func main() {
 			logger:   logger,
 			advCfg:   advCfg,
 			advisor:  twin.NewAdvisor(advCfg, pol.Name()),
+			kickCh:   make(chan struct{}, 1),
 			stop:     make(chan struct{}),
 		}
 		go adv.run()
 		fmt.Fprintf(os.Stderr, "ioschedd: advisor every %v over %v (horizon %gs, apply=%v)\n",
 			*advise, panel, *advHrzn, *advApply)
+	}
+
+	// Drain alert transitions off the round path: log each, kick the
+	// advisor on firings (detector state, not the next tick, triggers
+	// reassessment), and dump a rate-limited incident bundle when an
+	// incident directory is configured.
+	if alertCh != nil {
+		go func() {
+			for a := range alertCh {
+				fmt.Fprintf(os.Stderr, "ioschedd: health %s %s [%s] t=%.1f %s\n",
+					a.Detector, a.Kind, a.Severity, a.Time, a.Evidence)
+				if a.Kind != health.KindFiring {
+					continue
+				}
+				if adv != nil {
+					adv.kick()
+				}
+				if *incidentDir != "" {
+					if b := flight.AutoCapture(a.Time, "alert:"+a.Detector); b != nil {
+						if path, err := writeBundle(*incidentDir, b); err != nil {
+							fmt.Fprintln(os.Stderr, "ioschedd: incident bundle:", err)
+						} else {
+							fmt.Fprintln(os.Stderr, "ioschedd: incident bundle written to", path)
+						}
+					}
+				}
+			}
+		}()
 	}
 
 	if *metrics != "" {
@@ -223,11 +325,30 @@ func main() {
 		serveJSON("/snapshot", func() (any, bool) { return srv.Snapshot(), true })
 		serveJSON("/healthz", func() (any, bool) {
 			m := srv.Metrics()
-			return map[string]any{
+			out := map[string]any{
 				"status":   "ok",
 				"policy":   m.Policy,
 				"uptime_s": m.UptimeSeconds,
 				"sessions": m.Sessions,
+				"build":    buildinfo.Get(),
+			}
+			if mon != nil {
+				snap := mon.Snapshot()
+				out["status"] = snap.State
+				out["anomalies"] = snap.Anomalies
+				out["congestion_error"] = snap.CongestionError
+				out["detectors"] = snap.Detectors
+			}
+			return out, true
+		})
+		serveJSON("/alerts", func() (any, bool) {
+			if mon == nil {
+				return nil, false
+			}
+			return map[string]any{
+				"state":     mon.State().String(),
+				"anomalies": mon.Anomalies(),
+				"alerts":    mon.Alerts(),
 			}, true
 		})
 		serveJSON("/forecast", func() (any, bool) {
@@ -258,6 +379,21 @@ func main() {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			srv.WritePrometheus(w) //nolint:errcheck // best-effort HTTP reply
 		})
+		// /debug/flight captures an incident bundle on demand — the same
+		// bytes an alert or SIGQUIT would dump, served instead of written.
+		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+			if flight == nil {
+				http.Error(w, "health monitor disabled", http.StatusNotFound)
+				return
+			}
+			data, err := flight.Capture(srv.Snapshot().Time, "http").Encode()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(data) //nolint:errcheck // best-effort HTTP reply
+		})
 		// Live profiling rides on the metrics endpoint: the daemon can be
 		// profiled under production load without a restart (see
 		// docs/performance.md). Deliberately on the operator-facing
@@ -268,7 +404,28 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go http.Serve(mln, mux) //nolint:errcheck // exits with the process
-		fmt.Fprintf(os.Stderr, "ioschedd: metrics on http://%s/metrics (/metrics.prom, /healthz, /snapshot, /forecast, /telemetry, /debug/pprof)\n", mln.Addr())
+		fmt.Fprintf(os.Stderr, "ioschedd: metrics on http://%s/metrics (/metrics.prom, /healthz, /alerts, /snapshot, /forecast, /telemetry, /debug/flight, /debug/pprof)\n", mln.Addr())
+	}
+
+	// SIGQUIT dumps an incident bundle without shutting down — the
+	// classic black-box kick for a daemon that looks wedged.
+	if flight != nil {
+		quitSig := make(chan os.Signal, 1)
+		signal.Notify(quitSig, syscall.SIGQUIT)
+		go func() {
+			for range quitSig {
+				dir := *incidentDir
+				if dir == "" {
+					dir = "."
+				}
+				path, err := writeBundle(dir, flight.Capture(srv.Snapshot().Time, "sigquit"))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "ioschedd: incident bundle:", err)
+					continue
+				}
+				fmt.Fprintln(os.Stderr, "ioschedd: incident bundle written to", path)
+			}
+		}()
 	}
 
 	// SIGTERM must take the same graceful path as ^C: the deferred
@@ -307,9 +464,11 @@ type Report struct {
 	Err string `json:"err,omitempty"`
 }
 
-// advisorLoop runs the observe-predict-advise-actuate loop on a period.
+// advisorLoop runs the observe-predict-advise-actuate loop on a period,
+// and out of band whenever a health detector fires (via kick).
 type advisorLoop struct {
 	srv      *server.Server
+	mon      *health.Monitor // nil: assessments never see pressure
 	platform *platform.Platform
 	panel    []string
 	horizon  float64
@@ -322,11 +481,21 @@ type advisorLoop struct {
 	mu     sync.Mutex
 	report *Report
 
+	kickCh   chan struct{}
 	stop     chan struct{}
 	stopOnce sync.Once
 }
 
 func (a *advisorLoop) close() { a.stopOnce.Do(func() { close(a.stop) }) }
+
+// kick requests an immediate advise round; a round already pending
+// coalesces. Never blocks.
+func (a *advisorLoop) kick() {
+	select {
+	case a.kickCh <- struct{}{}:
+	default:
+	}
+}
 
 func (a *advisorLoop) lastReport() (any, bool) {
 	a.mu.Lock()
@@ -357,6 +526,7 @@ func (a *advisorLoop) run() {
 		case <-a.stop:
 			return
 		case <-tick.C:
+		case <-a.kickCh:
 		}
 		a.step()
 	}
@@ -397,7 +567,10 @@ func (a *advisorLoop) step() {
 		// The daemon's policy changed outside the advisor; re-anchor.
 		a.advisor = twin.NewAdvisor(a.advCfg, sys.Policy)
 	}
-	advice, err := a.advisor.Assess(forecasts)
+	// A firing detector collapses the advisor's patience guard: under
+	// live anomaly pressure a winning challenger switches immediately.
+	pressure := a.mon != nil && a.mon.State() != health.OK
+	advice, err := a.advisor.AssessWith(forecasts, pressure)
 	if err != nil {
 		report.Err = err.Error()
 		return
@@ -438,6 +611,24 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+// writeBundle persists an incident bundle as
+// <dir>/incident-t<time>-<reason>.json and returns the path.
+func writeBundle(dir string, b *health.Bundle) (string, error) {
+	data, err := b.Encode()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("incident-t%.3f-%s.json", b.Time, strings.ReplaceAll(b.Reason, ":", "-"))
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 func fatal(err error) {

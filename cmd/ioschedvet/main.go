@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
 	allocfree := flag.Bool("allocfree", false, "run the //iosched:allocfree escape-analysis gate instead of the AST analyzers")
 	showFingerprint := flag.Bool("fingerprint", false, "print the campaign schema fingerprint the engineversion analyzer expects, then exit")
+	version := flag.Bool("version", false, "print build metadata and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ioschedvet [-json] [-allocfree] [packages]\n\nAnalyzers:\n")
 		for _, a := range analysis.Analyzers() {
@@ -53,6 +55,10 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "ioschedvet")
+		return
+	}
 	args := flag.Args()
 
 	// Unitchecker mode: `go vet` invokes the tool with a single

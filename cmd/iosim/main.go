@@ -22,6 +22,14 @@
 //
 //	iosim -telemetry fig6a -telemetry-policy Priority-MaxSysEff > series.csv
 //	iosim -telemetry fig6b -telemetry-format json | jq .aggregates
+//
+// With -run incident <bundle.json>, iosim replays an incident bundle
+// dumped by the ioschedd flight recorder (internal/health): it prints
+// the capture metadata, detector verdicts and alert timeline, then
+// re-runs the anomaly detectors offline over the bundle's embedded
+// telemetry and reports whether the recorded firing sequence reproduces.
+//
+//	iosim -run incident incident-t1234.000-alert-stall.json
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 )
 
@@ -52,13 +61,33 @@ func main() {
 		telemetryPolicy = flag.String("telemetry-policy", "MaxSysEff", "policy for the -telemetry run")
 		telemetrySample = flag.Float64("telemetry-sample", 0, "minimum simulated seconds between -telemetry samples (0 samples every decision point)")
 		telemetryFormat = flag.String("telemetry-format", "csv", "-telemetry output format: csv or json")
+
+		version = flag.Bool("version", false, "print build metadata and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "iosim")
+		return
+	}
 
 	if *telemetry != "" {
 		err := runTelemetryDump(*telemetry, *telemetryPolicy, *seed, *telemetrySample, *telemetryFormat, os.Stdout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "iosim: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// The incident pseudo-experiment replays a flight-recorder bundle
+	// (see docs/observability.md) instead of a paper artifact.
+	if *run == "incident" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "iosim: usage: iosim -run incident <bundle.json>")
+			os.Exit(2)
+		}
+		if err := experiments.RunIncident(flag.Arg(0), os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "iosim: incident: %v\n", err)
 			os.Exit(1)
 		}
 		return

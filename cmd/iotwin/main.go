@@ -43,6 +43,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/server"
@@ -72,8 +73,14 @@ func main() {
 
 		sparkline  = flag.Bool("sparkline", false, "append an ASCII sparkline panel: observed congestion series up to the snapshot vs each policy's forecast series")
 		sparkWidth = flag.Int("spark-width", 64, "sparkline width in characters")
+
+		version = flag.Bool("version", false, "print build metadata and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "iotwin")
+		return
+	}
 
 	panel := splitList(*policies)
 	if len(panel) == 0 {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/platform"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -27,8 +28,13 @@ func main() {
 		congested = flag.Bool("congested", false, "report congested windows of the trace")
 		threshold = flag.Float64("threshold", 1.0, "congestion threshold as a fraction of B")
 		coverage  = flag.Float64("coverage", 0, "subset the trace to this node-hour fraction (0 = keep all)")
+		version   = flag.Bool("version", false, "print build metadata and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "wlgen")
+		return
+	}
 
 	p, ok := platform.Presets()[*machine]
 	if !ok {

@@ -10,11 +10,12 @@ import (
 // make must therefore be dominated by a nil check of the probe or sink.
 var nilgateScope = []string{"internal/sim", "internal/server"}
 
-// NilGate checks that every telemetry/dectrace capture call site in the
-// engines is dominated by a nil check of its receiver. Recognized
+// NilGate checks that every telemetry/dectrace/health capture call site
+// in the engines is dominated by a nil check of its receiver. Recognized
 // capture receivers: *telemetry.Probe (Due, Record, RecordApp),
-// *telemetry.Histogram (Observe, ObserveDuration) and dectrace.Sink
-// (Observe). Accepted gates, within the enclosing function:
+// *telemetry.Histogram (Observe, ObserveDuration), dectrace.Sink
+// (Observe) and *health.Monitor (Observe). Accepted gates, within the
+// enclosing function:
 //
 //   - an enclosing `if recv != nil { ... }` (any && conjunct),
 //   - an early return `if recv == nil { return }` before the call,
@@ -26,7 +27,7 @@ var nilgateScope = []string{"internal/sim", "internal/server"}
 //     histogram fields are non-nil (the documented resolved-once idiom).
 var NilGate = &Analyzer{
 	Name: "nilgate",
-	Doc:  "require telemetry/dectrace capture calls to be nil-gated (disabled = zero cost)",
+	Doc:  "require telemetry/dectrace/health capture calls to be nil-gated (disabled = zero cost)",
 	Run:  runNilGate,
 }
 
@@ -266,6 +267,8 @@ func (w *nilgateWalker) checkCapture(call *ast.CallExpr, g *guards) {
 		kind = "histogram"
 	case isNamed(t, "dectrace", "Sink"):
 		kind = "sink"
+	case isNamedPtr(t, "health", "Monitor") && method == "Observe":
+		kind = "monitor"
 	default:
 		return
 	}

@@ -1,0 +1,11 @@
+// Package health is a shape-compatible stand-in for the real
+// internal/health package: the nilgate analyzer matches capture
+// receivers by package name and type name, so fixtures can depend on
+// this fake instead of the engine tree.
+package health
+
+import "fakes/telemetry"
+
+type Monitor struct{ n int }
+
+func (m *Monitor) Observe(pt telemetry.Point) { m.n++ }

@@ -1,16 +1,19 @@
 // Package sim is the nilgate analyzer's fixture: capture calls on
-// telemetry probes, histograms and trace sinks, gated and ungated.
+// telemetry probes, histograms, trace sinks and health monitors, gated
+// and ungated.
 package sim
 
 import (
 	"fakes/dectrace"
+	"fakes/health"
 	"fakes/telemetry"
 )
 
 type simulation struct {
-	tel   *telemetry.Probe
-	hist  *telemetry.Histogram
-	trace dectrace.Sink
+	tel     *telemetry.Probe
+	hist    *telemetry.Histogram
+	trace   dectrace.Sink
+	monitor *health.Monitor
 }
 
 func ungatedProbe(s *simulation) {
@@ -72,6 +75,26 @@ func gatedClosure(s *simulation, now float64) func() {
 		return func() {}
 	}
 	return func() { s.tel.Record(telemetry.Point{Time: now}) }
+}
+
+func ungatedMonitor(s *simulation) {
+	s.monitor.Observe(telemetry.Point{}) // want "not dominated by a nil check"
+}
+
+func gatedMonitor(s *simulation, now float64) {
+	if s.monitor != nil {
+		s.monitor.Observe(telemetry.Point{Time: now})
+	}
+}
+
+// earlyReturnMonitor is the engines' health capture idiom: a local
+// resolved from the config, gated by an early return.
+func earlyReturnMonitor(s *simulation, now float64) {
+	h := s.monitor
+	if h == nil {
+		return
+	}
+	h.Observe(telemetry.Point{Time: now})
 }
 
 // freshHistogram is assigned from a never-nil constructor.

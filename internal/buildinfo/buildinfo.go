@@ -1,0 +1,68 @@
+// Package buildinfo exposes the build metadata Go stamps into every
+// binary (module version, VCS revision, toolchain) in one place, so the
+// cmds' -version flags, the daemon's /healthz payload and incident
+// bundles all report the same identity. Everything comes from
+// runtime/debug.ReadBuildInfo — no linker flags, no generated files.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info identifies one build: the main-module version (or "(devel)"
+// outside a tagged module), the VCS revision truncated to 12 hex digits
+// with a "+dirty" suffix when the tree was modified, and the Go
+// toolchain that compiled it.
+type Info struct {
+	Version  string `json:"version"`
+	Revision string `json:"revision,omitempty"`
+	Go       string `json:"go"`
+}
+
+// Get reads the binary's build metadata. Binaries built without module
+// or VCS stamping (go test, plain `go build` of a dirty checkout under
+// some configurations) degrade gracefully to version "(devel)" and an
+// empty revision.
+func Get() Info {
+	inf := Info{Version: "(devel)", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return inf
+	}
+	if bi.Main.Version != "" {
+		inf.Version = bi.Main.Version
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		inf.Revision = rev
+	}
+	return inf
+}
+
+// Print writes the canonical one-line -version output for a cmd.
+func Print(w io.Writer, cmd string) {
+	i := Get()
+	if i.Revision != "" {
+		fmt.Fprintf(w, "%s %s %s (%s)\n", cmd, i.Version, i.Revision, i.Go)
+		return
+	}
+	fmt.Fprintf(w, "%s %s (%s)\n", cmd, i.Version, i.Go)
+}

@@ -45,6 +45,14 @@ type CellResult struct {
 	// only when the campaign enabled sampling (SimOptions.TelemetrySampleS
 	// > 0).
 	Telemetry *TelemetrySummary `json:"telemetry,omitempty"`
+
+	// Anomalies counts detector firing transitions and HealthState is
+	// the final aggregate verdict ("ok", "degraded", "critical");
+	// present only when the campaign enabled health monitoring
+	// (SimOptions.Health). The firing sequence is deterministic, so
+	// these are cacheable like any other cell outcome.
+	Anomalies   int    `json:"anomalies,omitempty"`
+	HealthState string `json:"health_state,omitempty"`
 }
 
 // Cache is a content-addressed on-disk result store. Entries live at

@@ -161,11 +161,11 @@ func TestCellKeySensitivity(t *testing.T) {
 	}
 
 	// The engine version participates in every key: bumping it (as the
-	// iosched-sim/6 telemetry change did) must invalidate every cached
-	// cell, and the current tag must be the v6 one this tree's CellResult
+	// iosched-sim/7 health change did) must invalidate every cached
+	// cell, and the current tag must be the v7 one this tree's CellResult
 	// schema requires.
-	if engineVersion != "iosched-sim/6" {
-		t.Errorf("engineVersion = %q, want iosched-sim/6 (telemetry summary in CellResult)", engineVersion)
+	if engineVersion != "iosched-sim/7" {
+		t.Errorf("engineVersion = %q, want iosched-sim/7 (anomaly fields in CellResult)", engineVersion)
 	}
 	p, err := base.Platforms[0].resolve()
 	if err != nil {
@@ -651,6 +651,79 @@ func TestCellResultRecordsTelemetry(t *testing.T) {
 	for _, c := range pres.Cells {
 		if c.Telemetry != nil {
 			t.Errorf("cell %s: telemetry summary recorded without sampling enabled", c.Key)
+		}
+	}
+}
+
+// TestCellResultRecordsAnomalies pins the iosched-sim/7 schema change: a
+// health-enabled spec records each cell's anomaly count and final health
+// state, the fields survive the cache round trip unchanged, enabling
+// health changes every cell key (cache invalidation), and health off
+// records nothing.
+func TestCellResultRecordsAnomalies(t *testing.T) {
+	spec := testSpec()
+	spec.Name = "health-sweep"
+	spec.Schedulers = []string{"fair-share"}
+	spec.Seeds = SeedRange{Start: 42, Count: 1}
+	spec.Sim.Health = true
+
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := (&Runner{Spec: spec, Cache: cache}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if c.HealthState == "" {
+			t.Errorf("cell %s: health enabled but no state recorded", c.Key)
+		}
+		if c.Anomalies < 0 {
+			t.Errorf("cell %s: negative anomaly count %d", c.Key, c.Anomalies)
+		}
+	}
+
+	warm, stats, err := (&Runner{Spec: spec, Cache: cache}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Simulated != 0 {
+		t.Fatalf("warm run simulated %d cells", stats.Simulated)
+	}
+	for i, c := range warm.Cells {
+		if c.Anomalies != res.Cells[i].Anomalies || c.HealthState != res.Cells[i].HealthState {
+			t.Errorf("cell %d anomaly fields changed across cache replay", i)
+		}
+	}
+
+	// SimOptions.Health participates in the content hash: a spec that
+	// only differs in it shares no cells with the plain one.
+	plain := testSpec()
+	plain.Schedulers = []string{"fair-share"}
+	plain.Seeds = SeedRange{Start: 42, Count: 1}
+	plainCells, err := plain.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthCells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range healthCells {
+		if healthCells[i].Key == plainCells[i].Key {
+			t.Errorf("cell %d: health flag does not participate in the cell key", i)
+		}
+	}
+
+	// Health off stays off: the default spec records no verdict.
+	pres, _, err := (&Runner{Spec: plain, Cache: nil}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range pres.Cells {
+		if c.HealthState != "" || c.Anomalies != 0 {
+			t.Errorf("cell %s: health fields recorded without monitoring enabled", c.Key)
 		}
 	}
 }

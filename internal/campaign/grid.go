@@ -29,7 +29,10 @@ import (
 // entries would replay with the breakdown silently zero. v6: SimOptions
 // grew TelemetrySampleS and CellResult the windowed telemetry summary it
 // enables; v5 entries for a telemetry-enabled spec would replay with the
-// summary silently absent.
+// summary silently absent. v7: SimOptions grew Health and CellResult the
+// anomaly count and final health state it enables; v6 entries for a
+// health-enabled spec would replay with the anomaly fields silently
+// absent.
 //
 // The directive below pins the CellResult / cell-hash schema; the
 // engineversion analyzer recomputes the fingerprint on every run, so a
@@ -38,8 +41,8 @@ import (
 // exactly the moment to decide whether the change needs a version bump
 // per the rules above.
 //
-//iosched:engineversion 86255b4eaa8a engine=iosched-sim/6
-const engineVersion = "iosched-sim/6"
+//iosched:engineversion 15c3b7b39978 engine=iosched-sim/7
+const engineVersion = "iosched-sim/7"
 
 // Cell is one point of the campaign grid: a fully resolved simulation to
 // run.

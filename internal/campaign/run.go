@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/parallel"
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -165,6 +166,10 @@ func (r *Runner) runCell(c *Cell, apps []*platform.App) (*CellResult, error) {
 	if r.Spec.Sim.TelemetrySampleS > 0 {
 		probe = &telemetry.Probe{MinInterval: r.Spec.Sim.TelemetrySampleS}
 	}
+	var mon *health.Monitor
+	if r.Spec.Sim.Health {
+		mon = health.New(health.Config{})
+	}
 	res, err := sim.Run(sim.Config{
 		Platform:       c.plat,
 		Scheduler:      sched,
@@ -173,6 +178,7 @@ func (r *Runner) runCell(c *Cell, apps []*platform.App) (*CellResult, error) {
 		RequestLatency: r.Spec.Sim.RequestLatencyS,
 		MaxTime:        r.Spec.Sim.MaxTimeS,
 		Telemetry:      probe,
+		Health:         mon,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %s: %w", c.Name(), err)
@@ -198,6 +204,10 @@ func (r *Runner) runCell(c *Cell, apps []*platform.App) (*CellResult, error) {
 	}
 	if res.Telemetry != nil {
 		out.Telemetry = summarizeTelemetry(res, c.plat.Nodes)
+	}
+	if res.Health != nil {
+		out.Anomalies = res.Anomalies
+		out.HealthState = res.Health.State
 	}
 	return out, nil
 }

@@ -251,6 +251,11 @@ type SimOptions struct {
 	// a TelemetrySummary. Zero (the default) disables sampling, which is
 	// free.
 	TelemetrySampleS float64 `json:"telemetry_sample_s,omitempty"`
+	// Health, when true, attaches an anomaly-detector monitor
+	// (internal/health, default thresholds) to every cell; each cell
+	// result then records its anomaly count and final health state.
+	// False (the default) disables monitoring, which is free.
+	Health bool `json:"health,omitempty"`
 }
 
 // Validate checks the spec without expanding it.

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/health"
+)
+
+// RunIncident is the `iosim -run incident <bundle>` entry point: it
+// loads an incident bundle dumped by the ioschedd flight recorder (on a
+// detector firing, SIGQUIT, or /debug/flight), prints the postmortem —
+// capture metadata, build identity, final verdicts, the alert timeline
+// — and replays the detectors offline over the bundle's embedded
+// telemetry to check the recorded firing sequence reproduces.
+func RunIncident(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	b, err := health.DecodeBundle(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return reportIncident(b, w)
+}
+
+// reportIncident renders one decoded bundle (split from RunIncident so
+// tests can feed bundles without touching the filesystem twice).
+func reportIncident(b *health.Bundle, w io.Writer) error {
+	fmt.Fprintf(w, "incident bundle v%d: reason=%s t=%.3f\n", b.Version, b.Reason, b.Time)
+	fmt.Fprintf(w, "build: %s (%s, %s)\n", b.Build.Version, b.Build.Revision, b.Build.Go)
+	fmt.Fprintf(w, "state: %s  anomalies: %d  congestion error: %.3f\n\n",
+		b.State, b.Anomalies, b.CongestionError)
+
+	fmt.Fprintf(w, "%-12s %-9s %-7s %9s %8s  %s\n",
+		"detector", "severity", "firing", "since", "firings", "evidence")
+	for _, v := range b.Detectors {
+		since := "-"
+		if v.Firing {
+			since = fmt.Sprintf("%.1f", v.Since)
+		}
+		fmt.Fprintf(w, "%-12s %-9s %-7v %9s %8d  %s\n",
+			v.Detector, v.Severity, v.Firing, since, v.Firings, v.Evidence)
+	}
+
+	if len(b.Alerts) > 0 {
+		fmt.Fprintf(w, "\nalert timeline (%d):\n", len(b.Alerts))
+		for _, a := range b.Alerts {
+			fmt.Fprintf(w, "  #%-4d t=%-10.3f %-8s %-12s [%s] %s\n",
+				a.Seq, a.Time, a.Kind, a.Detector, a.Severity, a.Evidence)
+		}
+	}
+
+	points := 0
+	if b.Telemetry != nil {
+		points = len(b.Telemetry.Points)
+	}
+	fmt.Fprintf(w, "\nembedded: %d telemetry points, %d decision records, live snapshot: %v\n",
+		points, len(b.Decisions), len(b.Live) > 0)
+
+	rep, err := health.Replay(b)
+	if err != nil {
+		fmt.Fprintf(w, "replay: skipped (%v)\n", err)
+		return nil
+	}
+	verdict := "MATCH"
+	if !rep.Match {
+		verdict = "DIVERGED (rings wrapped before capture, or thresholds changed)"
+	}
+	fmt.Fprintf(w, "replay: %d points -> %d alerts (recorded %d, slo_burn excluded), final state %s: %s\n",
+		rep.Points, len(rep.Replayed), len(rep.Recorded), rep.FinalState, verdict)
+	return nil
+}

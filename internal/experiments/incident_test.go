@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/health"
+	"repro/internal/telemetry"
+)
+
+// incidentBundle builds a real stall incident the way an engine would:
+// drive a monitor and a probe through the same points, then capture.
+func incidentBundle(t *testing.T) *health.Bundle {
+	t.Helper()
+	m := health.New(health.Config{StallWindow: 5, ClearAfter: 5})
+	pr := &telemetry.Probe{}
+	for ts := 0.0; ts <= 20; ts++ {
+		p := telemetry.Point{
+			Time: ts, Utilization: 0, Backlog: 1.5, Candidates: 2,
+			Jain: 1, MaxStretch: 1, MeanStretch: 1,
+		}
+		pr.Record(p)
+		m.Observe(p)
+	}
+	rec := &health.Recorder{Monitor: m, Telemetry: pr.Snapshot}
+	b := rec.Capture(20, "alert:stall")
+	if b.State != "critical" {
+		t.Fatalf("scenario did not fire: state %q", b.State)
+	}
+	return b
+}
+
+func TestRunIncident(t *testing.T) {
+	b := incidentBundle(t)
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "incident.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := RunIncident(path, &out); err != nil {
+		t.Fatalf("RunIncident: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"reason=alert:stall",
+		"state: critical",
+		"stall",
+		"alert timeline",
+		"MATCH",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+
+	if err := RunIncident(filepath.Join(t.TempDir(), "missing.json"), &out); err == nil {
+		t.Error("missing bundle: want error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunIncident(bad, &out); err == nil {
+		t.Error("wrong-version bundle: want error")
+	}
+}

@@ -1,0 +1,201 @@
+package health
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/buildinfo"
+	"repro/internal/dectrace"
+	"repro/internal/telemetry"
+)
+
+// BundleVersion is the incident-bundle schema version. Decode rejects
+// other versions instead of misreading them.
+const BundleVersion = 1
+
+// Bundle is one incident bundle: the black box a flight recorder dumps
+// when a detector fires, on SIGQUIT, or on demand via /debug/flight.
+// It freezes everything needed for an offline postmortem — the
+// telemetry ring, the decision-trace ring, the alert ring, the live
+// server snapshot, build identity, and the monitor configuration that
+// produced the alerts (so Replay re-evaluates under the same
+// thresholds).
+//
+// Encoding is deterministic: the schema is all structs and slices in
+// fixed field order, and the only maps (telemetry per-app series and
+// histograms) are emitted by encoding/json in sorted key order. Two
+// bundles captured from identical monitor/telemetry/decision state
+// encode to identical bytes.
+type Bundle struct {
+	Version         int                  `json:"version"`
+	Reason          string               `json:"reason"`
+	Time            float64              `json:"t"`
+	Build           buildinfo.Info       `json:"build"`
+	Config          Config               `json:"config"`
+	State           string               `json:"state"`
+	Anomalies       uint64               `json:"anomalies"`
+	CongestionError float64              `json:"congestion_error"`
+	Detectors       []Verdict            `json:"detectors"`
+	Alerts          []Alert              `json:"alerts,omitempty"`
+	Telemetry       *telemetry.Telemetry `json:"telemetry,omitempty"`
+	Decisions       []*dectrace.Record   `json:"decisions,omitempty"`
+	Live            json.RawMessage      `json:"live,omitempty"`
+}
+
+// Encode renders the bundle as indented JSON with a trailing newline.
+func (b *Bundle) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeBundle parses an encoded bundle and validates its version.
+func DecodeBundle(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("decoding incident bundle: %w", err)
+	}
+	if b.Version != BundleVersion {
+		return nil, fmt.Errorf("incident bundle version %d, want %d", b.Version, BundleVersion)
+	}
+	return &b, nil
+}
+
+// Recorder is the flight recorder: it assembles incident bundles from
+// pluggable sources. All source fields are optional — a nil source
+// leaves the corresponding bundle section empty — so the simulator
+// (no live snapshot) and the daemon share the type.
+//
+// Recorder is concurrency-safe; the rate limit in AutoCapture is
+// tracked in engine time so automatic dumps stay deterministic.
+type Recorder struct {
+	// Monitor supplies the verdicts, alerts and config. Required.
+	Monitor *Monitor
+	// Telemetry returns the captured series (typically Probe.Snapshot).
+	Telemetry func() *telemetry.Telemetry
+	// Decisions returns recent decision records oldest-first (typically
+	// dectrace Ring.Records).
+	Decisions func() []*dectrace.Record
+	// Live returns the engine's live state as pre-encoded JSON (the
+	// daemon's SystemSnapshot); kept opaque so health does not import
+	// the server package.
+	Live func() json.RawMessage
+	// MinInterval is the minimum engine-time spacing between AutoCapture
+	// bundles, in seconds. Zero means 60.
+	MinInterval float64
+
+	mu      sync.Mutex
+	hasLast bool
+	lastT   float64
+}
+
+// Capture assembles a bundle unconditionally.
+func (r *Recorder) Capture(now float64, reason string) *Bundle {
+	snap := r.Monitor.Snapshot()
+	b := &Bundle{
+		Version:         BundleVersion,
+		Reason:          reason,
+		Time:            now,
+		Build:           buildinfo.Get(),
+		Config:          r.Monitor.Config(),
+		State:           snap.State,
+		Anomalies:       snap.Anomalies,
+		CongestionError: snap.CongestionError,
+		Detectors:       snap.Detectors,
+		Alerts:          snap.Alerts,
+	}
+	if r.Telemetry != nil {
+		b.Telemetry = r.Telemetry()
+	}
+	if r.Decisions != nil {
+		b.Decisions = r.Decisions()
+	}
+	if r.Live != nil {
+		b.Live = r.Live()
+	}
+	return b
+}
+
+// AutoCapture assembles a bundle unless one was captured within
+// MinInterval engine seconds; it returns nil when rate-limited. This is
+// the dump-on-firing path: a flapping detector cannot flood the disk.
+func (r *Recorder) AutoCapture(now float64, reason string) *Bundle {
+	min := r.MinInterval
+	if min <= 0 {
+		min = 60
+	}
+	r.mu.Lock()
+	if r.hasLast && now-r.lastT < min {
+		r.mu.Unlock()
+		return nil
+	}
+	r.hasLast = true
+	r.lastT = now
+	r.mu.Unlock()
+	return r.Capture(now, reason)
+}
+
+// ReplayReport is the outcome of re-evaluating a bundle offline.
+type ReplayReport struct {
+	// Points is the number of telemetry points replayed.
+	Points int `json:"points"`
+	// Replayed are the alerts a fresh monitor (bundle config, no SLO
+	// source) produced over the bundle's telemetry points.
+	Replayed []Alert `json:"replayed,omitempty"`
+	// Recorded are the bundle's alerts excluding slo_burn transitions
+	// (the histogram stream is not in the bundle, so they cannot
+	// reproduce offline).
+	Recorded []Alert `json:"recorded,omitempty"`
+	// Match reports whether Replayed equals Recorded ignoring sequence
+	// numbers. False is expected when the telemetry or alert ring
+	// wrapped before capture: the replay then sees a truncated history
+	// and hysteresis clocks start mid-condition.
+	Match bool `json:"match"`
+	// FinalState is the replayed monitor's aggregate state.
+	FinalState string `json:"final_state"`
+}
+
+// Replay re-runs the detectors offline over a bundle's embedded
+// telemetry under the bundle's own config. This is the postmortem path
+// behind `iosim -run incident`: every detector except slo_burn is a
+// pure function of (config, point sequence), so a bundle whose rings
+// had not wrapped reproduces its firing sequence exactly.
+func Replay(b *Bundle) (*ReplayReport, error) {
+	if b.Telemetry == nil || len(b.Telemetry.Points) == 0 {
+		return nil, errors.New("bundle has no telemetry points to replay")
+	}
+	cfg := b.Config
+	cfg.OnAlert = nil
+	cfg.SLOSource = nil
+	m := New(cfg)
+	for _, pt := range b.Telemetry.Points {
+		m.Observe(pt)
+	}
+	rep := &ReplayReport{
+		Points:     len(b.Telemetry.Points),
+		Replayed:   m.Alerts(),
+		FinalState: m.State().String(),
+	}
+	for _, a := range b.Alerts {
+		if a.Detector == detectorNames[detSLOBurn] {
+			continue
+		}
+		rep.Recorded = append(rep.Recorded, a)
+	}
+	rep.Match = len(rep.Recorded) == len(rep.Replayed)
+	if rep.Match {
+		for i := range rep.Recorded {
+			got, want := rep.Replayed[i], rep.Recorded[i]
+			got.Seq, want.Seq = 0, 0
+			if got != want {
+				rep.Match = false
+				break
+			}
+		}
+	}
+	return rep, nil
+}

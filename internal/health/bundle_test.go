@@ -1,0 +1,167 @@
+package health
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dectrace"
+	"repro/internal/telemetry"
+)
+
+// firedMonitorAndProbe drives a monitor through a stall incident while
+// recording the same points into a probe, the way an engine would.
+func firedMonitorAndProbe(t *testing.T) (*Monitor, *telemetry.Probe) {
+	t.Helper()
+	m := New(Config{StallWindow: 5, ClearAfter: 5})
+	pr := &telemetry.Probe{}
+	for ts := 0.0; ts <= 20; ts++ {
+		p := pt(ts, 0, 1.5, 2, 0, 1)
+		pr.Record(p)
+		m.Observe(p)
+	}
+	if m.State() != Critical {
+		t.Fatal("scenario did not fire the stall detector")
+	}
+	return m, pr
+}
+
+func testRecorder(m *Monitor, pr *telemetry.Probe) *Recorder {
+	ring := dectrace.NewRing(8)
+	ring.Observe(&dectrace.Record{Seq: 0, Time: 1, Kind: "event", Policy: "MaxSysEff"})
+	ring.Observe(&dectrace.Record{Seq: 1, Time: 2, Kind: "event", Policy: "MaxSysEff"})
+	return &Recorder{
+		Monitor:   m,
+		Telemetry: pr.Snapshot,
+		Decisions: ring.Records,
+		Live:      func() json.RawMessage { return json.RawMessage(`{"policy":"MaxSysEff","apps":[]}`) },
+	}
+}
+
+func TestBundleCaptureRoundTrip(t *testing.T) {
+	m, pr := firedMonitorAndProbe(t)
+	b := testRecorder(m, pr).Capture(20, "test")
+	if b.State != "critical" || b.Anomalies != 1 || len(b.Alerts) == 0 {
+		t.Fatalf("bundle verdicts wrong: state=%q anomalies=%d alerts=%d", b.State, b.Anomalies, len(b.Alerts))
+	}
+	if b.Telemetry == nil || len(b.Telemetry.Points) != 21 {
+		t.Fatalf("bundle telemetry missing or truncated: %+v", b.Telemetry)
+	}
+	if len(b.Decisions) != 2 || b.Decisions[0].Seq != 0 {
+		t.Fatalf("bundle decisions wrong: %+v", b.Decisions)
+	}
+	if len(b.Live) == 0 {
+		t.Fatal("bundle live snapshot missing")
+	}
+	enc, err := b.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeBundle(enc)
+	if err != nil {
+		t.Fatalf("DecodeBundle: %v", err)
+	}
+	enc2, err := got.Encode()
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("bundle does not round-trip to identical bytes")
+	}
+}
+
+func TestBundleEncodingDeterministic(t *testing.T) {
+	m, pr := firedMonitorAndProbe(t)
+	r := testRecorder(m, pr)
+	a, err := r.Capture(20, "x").Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Capture(20, "x").Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two captures of identical state encode differently")
+	}
+}
+
+func TestDecodeBundleRejectsVersion(t *testing.T) {
+	if _, err := DecodeBundle([]byte(`{"version":2}`)); err == nil {
+		t.Fatal("DecodeBundle accepted an unknown schema version")
+	}
+	if _, err := DecodeBundle([]byte(`not json`)); err == nil {
+		t.Fatal("DecodeBundle accepted malformed input")
+	}
+}
+
+func TestAutoCaptureRateLimit(t *testing.T) {
+	m, pr := firedMonitorAndProbe(t)
+	r := testRecorder(m, pr)
+	r.MinInterval = 60
+	if r.AutoCapture(100, "firing") == nil {
+		t.Fatal("first AutoCapture was rate-limited")
+	}
+	if r.AutoCapture(130, "firing") != nil {
+		t.Fatal("AutoCapture within MinInterval was not rate-limited")
+	}
+	if r.AutoCapture(161, "firing") == nil {
+		t.Fatal("AutoCapture after MinInterval was rate-limited")
+	}
+}
+
+func TestReplayReproducesFiringSequence(t *testing.T) {
+	m, pr := firedMonitorAndProbe(t)
+	b := testRecorder(m, pr).Capture(20, "test")
+	rep, err := Replay(b)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !rep.Match {
+		t.Fatalf("replay did not reproduce the recorded alerts:\nrecorded %+v\nreplayed %+v", rep.Recorded, rep.Replayed)
+	}
+	if rep.Points != 21 || rep.FinalState != "critical" {
+		t.Fatalf("replay report = %+v", rep)
+	}
+	if _, err := Replay(&Bundle{Version: BundleVersion}); err == nil {
+		t.Fatal("Replay accepted a bundle without telemetry")
+	}
+}
+
+func FuzzBundleRoundTrip(f *testing.F) {
+	m := New(Config{StallWindow: 1, ClearAfter: 1})
+	pr := &telemetry.Probe{}
+	for ts := 0.0; ts <= 3; ts++ {
+		p := pt(ts, 0, 1.5, 2, 0, 1)
+		pr.Record(p)
+		m.Observe(p)
+	}
+	seed, err := testRecorder(m, pr).Capture(3, "seed").Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"reason":"x","t":1.5,"live":{"a":[1,2]}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBundle(data)
+		if err != nil {
+			return
+		}
+		enc, err := b.Encode()
+		if err != nil {
+			t.Fatalf("decoded bundle failed to encode: %v", err)
+		}
+		b2, err := DecodeBundle(enc)
+		if err != nil {
+			t.Fatalf("encoded bundle failed to decode: %v\n%s", err, enc)
+		}
+		enc2, err := b2.Encode()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode/decode is not a fixed point:\n%s\n---\n%s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,553 @@
+// Package health turns the passive observability layers — telemetry
+// series (PR 8) and decision traces (PR 6) — into live signals: a set
+// of streaming anomaly detectors evaluated incrementally from telemetry
+// points, a health engine aggregating their firings into a typed State
+// with hysteresis, and a flight recorder that freezes the recent past
+// into a deterministic incident bundle when something goes wrong.
+//
+// Cost model, matching the telemetry layer's contract: a nil *Monitor
+// is the disabled state and every capture site in the engines is gated
+// on it (pinned by the ioschedvet nilgate analyzer), so disabled health
+// costs nothing. An enabled Monitor is allocation-free in steady state:
+// each detector keeps O(1) state, the alert ring is pre-sized, and
+// evidence strings are built only on firing/resolving transitions —
+// which steady rounds by definition never hit (pinned by
+// TestSteadyRoundHealthAllocationFree in internal/server).
+//
+// Determinism: every detector except slo_burn is a pure function of its
+// configuration and the observed point sequence. The engines build
+// points through the shared telemetry.PointBuilder over identically
+// ordered candidate walks, so an identical workload under an identical
+// policy produces bit-identical firing sequences — and bit-identical
+// incident bundles — in the simulator and the daemon (pinned by
+// TestDaemonHealthMatchesSimulator). slo_burn additionally samples a
+// live latency histogram, which only the daemon has; with no histogram
+// attached it never fires and determinism is preserved.
+package health
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// State is the aggregate health verdict: the maximum severity over the
+// currently firing detectors.
+type State int
+
+const (
+	// OK means no detector is firing.
+	OK State = iota
+	// Degraded means at least one degraded-severity detector is firing
+	// (fairness collapse, persistent congestion, SLO burn).
+	Degraded
+	// Critical means a critical-severity detector is firing (I/O stall,
+	// imminent burst-buffer overflow).
+	Critical
+)
+
+// String returns the lowercase verdict name.
+func (s State) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Degraded:
+		return "degraded"
+	case Critical:
+		return "critical"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Detector indices. The order is part of the observable contract: alert
+// sequences, verdict listings and Prometheus metric names all follow it.
+const (
+	detStall = iota
+	detStarvation
+	detCongestion
+	detBBOverflow
+	detSLOBurn
+	nDetectors
+)
+
+// detectorNames are snake_case so they double as Prometheus metric name
+// suffixes (the exposition writer has no label support).
+var detectorNames = [nDetectors]string{
+	"stall", "starvation", "congestion", "bb_overflow", "slo_burn",
+}
+
+// detectorSeverity is the State a firing detector contributes.
+var detectorSeverity = [nDetectors]State{
+	detStall:      Critical,
+	detStarvation: Degraded,
+	detCongestion: Degraded,
+	detBBOverflow: Critical,
+	detSLOBurn:    Degraded,
+}
+
+// DetectorNames returns the detector names in evaluation order.
+func DetectorNames() []string { return append([]string(nil), detectorNames[:]...) }
+
+// Alert kinds.
+const (
+	KindFiring   = "firing"
+	KindResolved = "resolved"
+)
+
+// Alert is one detector transition. Seq is a per-monitor sequence
+// number starting at 0; the flight recorder and the /alerts endpoint
+// expose alerts oldest-first in Seq order.
+type Alert struct {
+	Seq      uint64  `json:"seq"`
+	Time     float64 `json:"t"`
+	Detector string  `json:"detector"`
+	Severity string  `json:"severity"`
+	Kind     string  `json:"kind"`
+	Evidence string  `json:"evidence,omitempty"`
+}
+
+// Verdict is one detector's current standing, exposed via /healthz and
+// embedded in incident bundles.
+type Verdict struct {
+	Detector string  `json:"detector"`
+	Severity string  `json:"severity"`
+	Firing   bool    `json:"firing"`
+	Since    float64 `json:"since,omitempty"` // engine time the firing began
+	Firings  uint64  `json:"firings"`         // lifetime firing transitions
+	Evidence string  `json:"evidence,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a monitor's verdict state: the
+// aggregate State, lifetime anomaly count (firing transitions), the
+// latest congestion-error signal, per-detector verdicts and the alert
+// ring oldest-first.
+type Snapshot struct {
+	State           string    `json:"state"`
+	Anomalies       uint64    `json:"anomalies"`
+	CongestionError float64   `json:"congestion_error"`
+	Detectors       []Verdict `json:"detectors"`
+	Alerts          []Alert   `json:"alerts,omitempty"`
+}
+
+// Config tunes the detectors. The zero value means "defaults" for every
+// threshold; detectors whose inputs are absent (no burst-buffer
+// capacity, no SLO histogram) are disabled individually. Config is
+// embedded verbatim in incident bundles so a bundle replays under the
+// thresholds that produced it; the two non-data fields carry json:"-".
+type Config struct {
+	// Stall: candidates want I/O but nothing flows. Fires critical when
+	// utilization stays at or below StallMaxUtil while candidates exist
+	// for StallWindow seconds. Defaults: 30 s, 1e-3.
+	StallWindow  float64 `json:"stall_window_s,omitempty"`
+	StallMaxUtil float64 `json:"stall_max_util,omitempty"`
+
+	// Starvation / fairness collapse: the instantaneous Jain index over
+	// ≥ 2 candidates stays below JainThreshold for JainWindow seconds.
+	// Defaults: 0.5, 60 s.
+	JainThreshold float64 `json:"jain_threshold,omitempty"`
+	JainWindow    float64 `json:"jain_window_s,omitempty"`
+
+	// Congestion persistence: utilization pinned at or above PinnedUtil
+	// while the backlog exceeds MinBacklog and has not shrunk since the
+	// condition began, sustained for CongestionWindow seconds.
+	// Defaults: 0.99, 1.0, 120 s.
+	PinnedUtil       float64 `json:"pinned_util,omitempty"`
+	MinBacklog       float64 `json:"min_backlog,omitempty"`
+	CongestionWindow float64 `json:"congestion_window_s,omitempty"`
+
+	// Burst-buffer overflow imminent: the level slope between
+	// consecutive points projects the buffer full (BBCapacity GiB)
+	// within BBHorizon seconds, sustained for BBSustain seconds.
+	// BBCapacity 0 disables the detector. Defaults: 300 s, 10 s.
+	BBCapacity float64 `json:"bb_capacity_gib,omitempty"`
+	BBHorizon  float64 `json:"bb_horizon_s,omitempty"`
+	BBSustain  float64 `json:"bb_sustain_s,omitempty"`
+
+	// Grant-push latency SLO burn-rate: the fraction of SLOSource
+	// observations above SLOLatency, measured over a fast and a slow
+	// tumbling window, burns the error budget SLOBudget faster than
+	// SLOFastBurn× and SLOSlowBurn× respectively. SLOLatency ≤ 0 or a
+	// nil SLOSource disables the detector. Defaults: budget 0.01,
+	// windows 60 s / 600 s, burns 14× / 6×.
+	SLOLatency    float64 `json:"slo_latency_s,omitempty"`
+	SLOBudget     float64 `json:"slo_budget,omitempty"`
+	SLOFastWindow float64 `json:"slo_fast_window_s,omitempty"`
+	SLOSlowWindow float64 `json:"slo_slow_window_s,omitempty"`
+	SLOFastBurn   float64 `json:"slo_fast_burn,omitempty"`
+	SLOSlowBurn   float64 `json:"slo_slow_burn,omitempty"`
+
+	// ClearAfter is the hysteresis on the way down: a firing detector
+	// resolves only after its condition has been absent for ClearAfter
+	// consecutive seconds. Default 30 s.
+	ClearAfter float64 `json:"clear_after_s,omitempty"`
+
+	// MaxAlerts bounds the alert ring (oldest overwritten). Default 256.
+	MaxAlerts int `json:"max_alerts,omitempty"`
+
+	// SLOSource is the live latency histogram the slo_burn detector
+	// samples (the daemon's grant-push delay histogram). Not serialized:
+	// the histogram stream is not part of a bundle, so replays skip
+	// slo_burn.
+	SLOSource *telemetry.Histogram `json:"-"`
+
+	// OnAlert, when set, is called for every transition after it is
+	// recorded, on the engine's observe path with engine locks held: it
+	// must not block and must not call back into the monitor or the
+	// engine. Hand heavy work (bundle dumps, advisor kicks) to another
+	// goroutine, e.g. via a non-blocking channel send.
+	OnAlert func(Alert) `json:"-"`
+}
+
+// withDefaults fills zero thresholds with the documented defaults.
+func (c Config) withDefaults() Config {
+	def := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.StallWindow, 30)
+	def(&c.StallMaxUtil, 1e-3)
+	def(&c.JainThreshold, 0.5)
+	def(&c.JainWindow, 60)
+	def(&c.PinnedUtil, 0.99)
+	def(&c.MinBacklog, 1)
+	def(&c.CongestionWindow, 120)
+	def(&c.BBHorizon, 300)
+	def(&c.BBSustain, 10)
+	def(&c.SLOBudget, 0.01)
+	def(&c.SLOFastWindow, 60)
+	def(&c.SLOSlowWindow, 600)
+	def(&c.SLOFastBurn, 14)
+	def(&c.SLOSlowBurn, 6)
+	def(&c.ClearAfter, 30)
+	if c.MaxAlerts == 0 {
+		c.MaxAlerts = 256
+	}
+	return c
+}
+
+// detState is one detector's O(1) hysteresis state.
+type detState struct {
+	active   bool    // raw condition currently holds
+	since    float64 // engine time the condition began (valid when active)
+	okSince  float64 // engine time the condition last lapsed (valid when firing && !active)
+	firing   bool
+	firedAt  float64
+	count    uint64 // lifetime firing transitions
+	evidence string // last firing evidence
+}
+
+// sloWin is one tumbling burn-rate window over cumulative counters.
+type sloWin struct {
+	started bool
+	start   float64
+	total0  uint64
+	over0   uint64
+	rate    float64
+	valid   bool // at least one full window completed
+}
+
+// roll folds the cumulative counters at engine time now into the
+// window; when the window width has elapsed it computes the windowed
+// error ratio and starts the next window.
+func (w *sloWin) roll(now float64, total, over uint64, width float64) {
+	if !w.started {
+		w.started = true
+		w.start = now
+		w.total0, w.over0 = total, over
+		return
+	}
+	if now-w.start < width {
+		return
+	}
+	dTotal := total - w.total0
+	if dTotal > 0 {
+		w.rate = float64(over-w.over0) / float64(dTotal)
+	} else {
+		w.rate = 0
+	}
+	w.valid = true
+	w.start = now
+	w.total0, w.over0 = total, over
+}
+
+// Monitor is the health engine: it consumes telemetry points from one
+// engine (simulator or daemon), evaluates the detectors incrementally,
+// and aggregates their firings into a State with hysteresis. A nil
+// *Monitor means health monitoring is disabled; every capture site is
+// gated on that.
+//
+// Monitor is concurrency-safe: the engines observe under their own
+// state locks while Snapshot/State/Alerts may be called from any
+// goroutine (an HTTP handler) without stopping the engine.
+type Monitor struct {
+	cfg Config
+
+	mu          sync.Mutex
+	dets        [nDetectors]detState
+	state       State
+	seq         uint64
+	firings     uint64
+	alerts      []Alert // ring, cap cfg.MaxAlerts
+	head        int
+	wrapped     bool
+	hasPrev     bool
+	prevT       float64
+	prevBB      float64
+	baseBacklog float64 // backlog when the congestion condition began
+	lastBacklog float64
+	sloCond     bool // latched between window completions
+	sloFast     sloWin
+	sloSlow     sloWin
+}
+
+// New returns a Monitor with zero config fields replaced by defaults.
+func New(cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	return &Monitor{
+		cfg:    cfg,
+		alerts: make([]Alert, 0, cfg.MaxAlerts),
+	}
+}
+
+// Config returns the monitor's effective (default-filled) configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// Observe folds one telemetry point into every detector. Points must
+// arrive in nondecreasing Time order; both engines call it at each
+// decision point right after grants were applied. Steady-state calls —
+// no detector transition — are allocation-free.
+func (m *Monitor) Observe(pt telemetry.Point) {
+	var fired [nDetectors]Alert
+	nf := 0
+
+	m.mu.Lock()
+	now := pt.Time
+	m.lastBacklog = pt.Backlog
+
+	var cond [nDetectors]bool
+	cond[detStall] = pt.Candidates > 0 && pt.Utilization <= m.cfg.StallMaxUtil
+	cond[detStarvation] = pt.Candidates >= 2 && pt.Jain < m.cfg.JainThreshold
+
+	congested := pt.Utilization >= m.cfg.PinnedUtil && pt.Backlog > m.cfg.MinBacklog
+	if congested && !m.dets[detCongestion].active {
+		m.baseBacklog = pt.Backlog
+	}
+	cond[detCongestion] = congested && pt.Backlog >= m.baseBacklog
+
+	if m.cfg.BBCapacity > 0 && m.hasPrev && now > m.prevT {
+		slope := (pt.BBLevel - m.prevBB) / (now - m.prevT)
+		if slope > 0 {
+			cond[detBBOverflow] = (m.cfg.BBCapacity-pt.BBLevel)/slope <= m.cfg.BBHorizon
+		}
+	}
+	m.hasPrev = true
+	m.prevT, m.prevBB = now, pt.BBLevel
+
+	if m.cfg.SLOSource != nil && m.cfg.SLOLatency > 0 {
+		total, over := m.cfg.SLOSource.CountOver(m.cfg.SLOLatency)
+		m.sloFast.roll(now, total, over, m.cfg.SLOFastWindow)
+		m.sloSlow.roll(now, total, over, m.cfg.SLOSlowWindow)
+		m.sloCond = m.sloFast.valid && m.sloSlow.valid &&
+			m.sloFast.rate > m.cfg.SLOBudget*m.cfg.SLOFastBurn &&
+			m.sloSlow.rate > m.cfg.SLOBudget*m.cfg.SLOSlowBurn
+	}
+	cond[detSLOBurn] = m.sloCond
+
+	for i := 0; i < nDetectors; i++ {
+		d := &m.dets[i]
+		if cond[i] {
+			if !d.active {
+				d.active = true
+				d.since = now
+			}
+			if !d.firing && now-d.since >= m.sustain(i) {
+				d.firing = true
+				d.firedAt = now
+				d.count++
+				m.firings++
+				d.evidence = m.evidence(i, pt, now-d.since)
+				fired[nf] = m.recordLocked(now, i, KindFiring, d.evidence)
+				nf++
+			}
+		} else {
+			if d.active {
+				d.active = false
+				d.okSince = now
+			}
+			if d.firing && now-d.okSince >= m.cfg.ClearAfter {
+				d.firing = false
+				fired[nf] = m.recordLocked(now, i, KindResolved, "")
+				nf++
+			}
+		}
+	}
+	if nf > 0 {
+		m.state = m.aggregateLocked()
+	}
+	cb := m.cfg.OnAlert
+	m.mu.Unlock()
+
+	if cb != nil {
+		for i := 0; i < nf; i++ {
+			cb(fired[i])
+		}
+	}
+}
+
+// sustain returns detector i's required condition duration before
+// firing. slo_burn has none: its windows are the time filter.
+func (m *Monitor) sustain(i int) float64 {
+	switch i {
+	case detStall:
+		return m.cfg.StallWindow
+	case detStarvation:
+		return m.cfg.JainWindow
+	case detCongestion:
+		return m.cfg.CongestionWindow
+	case detBBOverflow:
+		return m.cfg.BBSustain
+	default:
+		return 0
+	}
+}
+
+// evidence renders the human-readable firing evidence. Only called on
+// transitions, so the formatting cost never hits the steady path.
+func (m *Monitor) evidence(i int, pt telemetry.Point, held float64) string {
+	switch i {
+	case detStall:
+		return fmt.Sprintf("utilization %.4f with %d candidates waiting for %.0fs (backlog %.2f)",
+			pt.Utilization, pt.Candidates, held, pt.Backlog)
+	case detStarvation:
+		return fmt.Sprintf("Jain index %.3f < %.3f over %d candidates for %.0fs",
+			pt.Jain, m.cfg.JainThreshold, pt.Candidates, held)
+	case detCongestion:
+		return fmt.Sprintf("utilization %.3f pinned ≥ %.3f with backlog %.2f (began at %.2f) for %.0fs",
+			pt.Utilization, m.cfg.PinnedUtil, pt.Backlog, m.baseBacklog, held)
+	case detBBOverflow:
+		return fmt.Sprintf("bb level %.1f GiB of %.1f projects full within %.0fs horizon",
+			pt.BBLevel, m.cfg.BBCapacity, m.cfg.BBHorizon)
+	case detSLOBurn:
+		return fmt.Sprintf("latency > %.3gs error rate %.4f (fast) / %.4f (slow) burns budget %.3g beyond %gx/%gx",
+			m.cfg.SLOLatency, m.sloFast.rate, m.sloSlow.rate,
+			m.cfg.SLOBudget, m.cfg.SLOFastBurn, m.cfg.SLOSlowBurn)
+	default:
+		return ""
+	}
+}
+
+// recordLocked appends one transition to the alert ring and returns it.
+func (m *Monitor) recordLocked(now float64, det int, kind, evidence string) Alert {
+	a := Alert{
+		Seq:      m.seq,
+		Time:     now,
+		Detector: detectorNames[det],
+		Severity: detectorSeverity[det].String(),
+		Kind:     kind,
+		Evidence: evidence,
+	}
+	m.seq++
+	if len(m.alerts) < cap(m.alerts) {
+		m.alerts = append(m.alerts, a)
+	} else {
+		m.alerts[m.head] = a
+		m.head++
+		if m.head == len(m.alerts) {
+			m.head = 0
+		}
+		m.wrapped = true
+	}
+	return a
+}
+
+// aggregateLocked recomputes the State as the max firing severity.
+func (m *Monitor) aggregateLocked() State {
+	s := OK
+	for i := 0; i < nDetectors; i++ {
+		if m.dets[i].firing && detectorSeverity[i] > s {
+			s = detectorSeverity[i]
+		}
+	}
+	return s
+}
+
+// State returns the current aggregate verdict.
+func (m *Monitor) State() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
+
+// Anomalies returns the lifetime count of firing transitions — the
+// per-cell anomaly count campaign results record.
+func (m *Monitor) Anomalies() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.firings
+}
+
+// CongestionError returns the latest congestion-error signal
+// e(t) = backlog − 1, clamped at 0: how much aggregate candidate demand
+// exceeds the allocatable capacity, the actuation input of
+// feedback-control policies (cf. "Mitigating Shared Storage Congestion
+// Using Control Theory"). 0 until the first point is observed.
+func (m *Monitor) CongestionError() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lastBacklog > 1 {
+		return m.lastBacklog - 1
+	}
+	return 0
+}
+
+// Alerts returns a copy of the alert ring, oldest-first.
+func (m *Monitor) Alerts() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.alertsLocked()
+}
+
+func (m *Monitor) alertsLocked() []Alert {
+	out := make([]Alert, 0, len(m.alerts))
+	if m.wrapped {
+		out = append(out, m.alerts[m.head:]...)
+		out = append(out, m.alerts[:m.head]...)
+	} else {
+		out = append(out, m.alerts...)
+	}
+	return out
+}
+
+// Snapshot copies the monitor's verdict state without stopping the
+// engine.
+func (m *Monitor) Snapshot() *Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &Snapshot{
+		State:     m.state.String(),
+		Anomalies: m.firings,
+		Detectors: make([]Verdict, 0, nDetectors),
+		Alerts:    m.alertsLocked(),
+	}
+	if m.lastBacklog > 1 {
+		s.CongestionError = m.lastBacklog - 1
+	}
+	for i := 0; i < nDetectors; i++ {
+		d := &m.dets[i]
+		v := Verdict{
+			Detector: detectorNames[i],
+			Severity: detectorSeverity[i].String(),
+			Firing:   d.firing,
+			Firings:  d.count,
+			Evidence: d.evidence,
+		}
+		if d.firing {
+			v.Since = d.firedAt
+		}
+		s.Detectors = append(s.Detectors, v)
+	}
+	return s
+}

@@ -1,0 +1,250 @@
+package health
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// pt builds a telemetry point with the signals the detectors read.
+func pt(t, util, backlog float64, cand int, bb, jain float64) telemetry.Point {
+	return telemetry.Point{
+		Time: t, Utilization: util, Backlog: backlog,
+		Candidates: cand, BBLevel: bb, Jain: jain,
+		MaxStretch: 1, MeanStretch: 1,
+	}
+}
+
+func TestStallDetectorFiresAndResolves(t *testing.T) {
+	m := New(Config{StallWindow: 10, ClearAfter: 5})
+	m.Observe(pt(0, 0, 2, 3, 0, 1))
+	m.Observe(pt(5, 0, 2, 3, 0, 1))
+	if got := m.State(); got != OK {
+		t.Fatalf("state before sustain window = %v, want ok", got)
+	}
+	m.Observe(pt(10, 0, 2, 3, 0, 1))
+	if got := m.State(); got != Critical {
+		t.Fatalf("state after sustained stall = %v, want critical", got)
+	}
+	alerts := m.Alerts()
+	if len(alerts) != 1 || alerts[0].Detector != "stall" || alerts[0].Kind != KindFiring {
+		t.Fatalf("alerts = %+v, want one stall firing", alerts)
+	}
+	if alerts[0].Evidence == "" {
+		t.Fatal("firing alert carries no evidence")
+	}
+	// Progress resumes: the condition lapses at t=11 and must stay
+	// absent for ClearAfter=5 before resolving.
+	m.Observe(pt(11, 0.8, 2, 3, 0, 1))
+	m.Observe(pt(14, 0.8, 2, 3, 0, 1))
+	if got := m.State(); got != Critical {
+		t.Fatalf("state inside clear hysteresis = %v, want critical", got)
+	}
+	m.Observe(pt(17, 0.8, 2, 3, 0, 1))
+	if got := m.State(); got != OK {
+		t.Fatalf("state after clear window = %v, want ok", got)
+	}
+	alerts = m.Alerts()
+	if len(alerts) != 2 || alerts[1].Kind != KindResolved {
+		t.Fatalf("alerts = %+v, want firing then resolved", alerts)
+	}
+	if m.Anomalies() != 1 {
+		t.Fatalf("anomalies = %d, want 1 (resolutions do not count)", m.Anomalies())
+	}
+}
+
+func TestStallRequiresCandidates(t *testing.T) {
+	m := New(Config{StallWindow: 1})
+	for ts := 0.0; ts < 100; ts++ {
+		m.Observe(pt(ts, 0, 0, 0, 0, 1))
+	}
+	if got := m.State(); got != OK {
+		t.Fatalf("idle system reported %v, want ok", got)
+	}
+}
+
+func TestStarvationDetector(t *testing.T) {
+	m := New(Config{JainThreshold: 0.5, JainWindow: 20})
+	for ts := 0.0; ts <= 20; ts += 5 {
+		m.Observe(pt(ts, 0.9, 1.5, 4, 0, 0.3))
+	}
+	if got := m.State(); got != Degraded {
+		t.Fatalf("state after sustained fairness collapse = %v, want degraded", got)
+	}
+	// A single candidate is vacuously fair regardless of the index.
+	m2 := New(Config{JainThreshold: 0.5, JainWindow: 20})
+	for ts := 0.0; ts <= 40; ts += 5 {
+		m2.Observe(pt(ts, 0.9, 1.5, 1, 0, 0.1))
+	}
+	if got := m2.State(); got != OK {
+		t.Fatalf("single candidate reported %v, want ok", got)
+	}
+}
+
+func TestCongestionDetectorRequiresGrowingBacklog(t *testing.T) {
+	// Pinned utilization with a backlog that shrinks below its onset
+	// level resets the window: draining congestion is not persistent.
+	m := New(Config{PinnedUtil: 0.95, CongestionWindow: 10, MinBacklog: 1})
+	m.Observe(pt(0, 1, 2.0, 4, 0, 1))
+	m.Observe(pt(5, 1, 1.8, 4, 0, 1)) // shrank: resets
+	m.Observe(pt(10, 1, 1.8, 4, 0, 1))
+	m.Observe(pt(14, 1, 1.9, 4, 0, 1))
+	if got := m.State(); got != OK {
+		t.Fatalf("draining congestion reported %v, want ok", got)
+	}
+	// Growing from the reset point fires once sustained.
+	m.Observe(pt(20, 1, 2.0, 4, 0, 1))
+	if got := m.State(); got != Degraded {
+		t.Fatalf("persistent congestion reported %v, want degraded", got)
+	}
+}
+
+func TestBBOverflowDetector(t *testing.T) {
+	m := New(Config{BBCapacity: 100, BBHorizon: 30, BBSustain: 2})
+	// Filling at 5 GiB/s from 50: (100-55)/5 = 9s ≤ 30 — imminent.
+	m.Observe(pt(0, 0.5, 0.5, 1, 50, 1))
+	m.Observe(pt(1, 0.5, 0.5, 1, 55, 1))
+	m.Observe(pt(2, 0.5, 0.5, 1, 60, 1))
+	m.Observe(pt(3, 0.5, 0.5, 1, 65, 1))
+	if got := m.State(); got != Critical {
+		t.Fatalf("state with bb projecting full in 7s = %v, want critical", got)
+	}
+	// A draining buffer never projects full.
+	m2 := New(Config{BBCapacity: 100, BBHorizon: 30, BBSustain: 2})
+	for ts := 0.0; ts <= 10; ts++ {
+		m2.Observe(pt(ts, 0.5, 0.5, 1, 90-ts, 1))
+	}
+	if got := m2.State(); got != OK {
+		t.Fatalf("draining bb reported %v, want ok", got)
+	}
+}
+
+func TestSLOBurnDetector(t *testing.T) {
+	h := telemetry.NewHistogram()
+	m := New(Config{
+		SLOLatency: 0.1, SLOBudget: 0.01,
+		SLOFastWindow: 10, SLOSlowWindow: 20,
+		SLOFastBurn: 1, SLOSlowBurn: 1,
+		SLOSource: h,
+	})
+	m.Observe(pt(0, 0.5, 0.5, 1, 0, 1)) // opens both windows
+	for i := 0; i < 100; i++ {
+		h.Observe(1.0) // every observation blows the 100ms objective
+	}
+	m.Observe(pt(10, 0.5, 0.5, 1, 0, 1)) // fast window completes
+	if got := m.State(); got != OK {
+		t.Fatalf("state with only fast window burned = %v, want ok", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1.0) // keep burning through the second fast window
+	}
+	m.Observe(pt(20, 0.5, 0.5, 1, 0, 1)) // slow window completes too
+	if got := m.State(); got != Degraded {
+		t.Fatalf("state with both windows burned = %v, want degraded", got)
+	}
+	alerts := m.Alerts()
+	if len(alerts) != 1 || alerts[0].Detector != "slo_burn" {
+		t.Fatalf("alerts = %+v, want one slo_burn firing", alerts)
+	}
+}
+
+func TestSLOBurnDisabledWithoutSource(t *testing.T) {
+	m := New(Config{SLOLatency: 0.1})
+	for ts := 0.0; ts < 2000; ts += 10 {
+		m.Observe(pt(ts, 0.5, 0.5, 1, 0, 1))
+	}
+	for _, v := range m.Snapshot().Detectors {
+		if v.Detector == "slo_burn" && (v.Firing || v.Firings > 0) {
+			t.Fatalf("slo_burn fired without a histogram source: %+v", v)
+		}
+	}
+}
+
+func TestDeterministicFiringSequence(t *testing.T) {
+	run := func() *Monitor {
+		m := New(Config{StallWindow: 5, JainThreshold: 0.6, JainWindow: 8, ClearAfter: 3})
+		for ts := 0.0; ts < 200; ts++ {
+			util, jain := 0.9, 1.0
+			if int(ts)%40 < 12 {
+				util = 0 // periodic stall
+			}
+			if int(ts)%60 < 15 {
+				jain = 0.2 // periodic fairness collapse
+			}
+			m.Observe(pt(ts, util, 1.5, 3, 0, jain))
+		}
+		return m
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Alerts(), b.Alerts()) {
+		t.Fatal("identical point sequences produced different alert sequences")
+	}
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("identical point sequences produced different snapshots")
+	}
+	if len(a.Alerts()) == 0 {
+		t.Fatal("scenario fired no alerts; determinism check is vacuous")
+	}
+}
+
+func TestAlertRingWraps(t *testing.T) {
+	m := New(Config{StallWindow: 1, ClearAfter: 1, MaxAlerts: 4})
+	ts := 0.0
+	for cycle := 0; cycle < 5; cycle++ {
+		m.Observe(pt(ts, 0, 1.5, 2, 0, 1))
+		m.Observe(pt(ts+1, 0, 1.5, 2, 0, 1)) // fires
+		m.Observe(pt(ts+2, 1, 1.5, 2, 0, 1))
+		m.Observe(pt(ts+3, 1, 1.5, 2, 0, 1)) // resolves
+		ts += 4
+	}
+	alerts := m.Alerts()
+	if len(alerts) != 4 {
+		t.Fatalf("ring holds %d alerts, want 4", len(alerts))
+	}
+	for i := 1; i < len(alerts); i++ {
+		if alerts[i].Seq != alerts[i-1].Seq+1 {
+			t.Fatalf("ring not oldest-first contiguous: %+v", alerts)
+		}
+	}
+	if alerts[len(alerts)-1].Seq != 9 {
+		t.Fatalf("last seq = %d, want 9 (10 transitions total)", alerts[len(alerts)-1].Seq)
+	}
+	if m.Anomalies() != 5 {
+		t.Fatalf("anomalies = %d, want 5", m.Anomalies())
+	}
+}
+
+func TestCongestionError(t *testing.T) {
+	m := New(Config{})
+	if e := m.CongestionError(); e != 0 {
+		t.Fatalf("congestion error before any point = %v, want 0", e)
+	}
+	m.Observe(pt(0, 1, 2.5, 3, 0, 1))
+	if e := m.CongestionError(); e != 1.5 {
+		t.Fatalf("congestion error = %v, want 1.5", e)
+	}
+	m.Observe(pt(1, 0.5, 0.5, 1, 0, 1))
+	if e := m.CongestionError(); e != 0 {
+		t.Fatalf("congestion error below capacity = %v, want 0", e)
+	}
+}
+
+func TestObserveSteadyStateAllocationFree(t *testing.T) {
+	h := telemetry.NewHistogram()
+	h.Observe(0.01)
+	m := New(Config{SLOLatency: 0.1, SLOSource: h})
+	// Warm up into a firing steady state: sustained alerts allocate only
+	// on the transition, never while the condition merely persists.
+	ts := 0.0
+	for ; ts < 100; ts++ {
+		m.Observe(pt(ts, 0, 2, 3, 0, 0.2))
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		m.Observe(pt(ts, 0, 2, 3, 0, 0.2))
+		ts++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Observe allocates %v per call, want 0", avg)
+	}
+}

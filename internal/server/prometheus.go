@@ -9,7 +9,8 @@ import (
 // WritePrometheus renders the daemon's state in the Prometheus text
 // exposition format: the live congestion gauges (sampled fresh from the
 // candidate set, so they are current even between telemetry points), the
-// operational counters, and — when a telemetry probe is attached — the
+// operational counters, the iosched_health_* family when a health
+// monitor is attached, and — when a telemetry probe is attached — the
 // service-latency histograms. It backs the metrics listener's
 // /metrics.prom endpoint (cmd/ioschedd), next to the JSON /metrics.
 func (s *Server) WritePrometheus(w io.Writer) error {
@@ -33,6 +34,29 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	pw.Counter("ioschedd_grant_pushes_total", "Grant messages enqueued to clients.", float64(m.GrantPushes))
 	pw.Counter("ioschedd_forecasts_total", "Advisor forecasts recorded.", float64(m.ForecastsRun))
 	pw.Counter("ioschedd_policy_switches_total", "Runtime policy changes applied.", float64(m.PolicySwitches))
+	if s.health != nil {
+		snap := s.health.Snapshot()
+		state := 0.0
+		switch snap.State {
+		case "degraded":
+			state = 1
+		case "critical":
+			state = 2
+		}
+		pw.Gauge("iosched_health_state", "Aggregate health verdict: 0 ok, 1 degraded, 2 critical.", state)
+		pw.Counter("iosched_health_anomalies_total", "Detector firing transitions since start.", float64(snap.Anomalies))
+		pw.Gauge("iosched_health_congestion_error", "Congestion error signal e(t) = max(0, backlog - 1).", snap.CongestionError)
+		// The exposition writer has no label support, so each detector
+		// gets its own metric pair, suffixed with its snake_case name.
+		for _, v := range snap.Detectors {
+			firing := 0.0
+			if v.Firing {
+				firing = 1
+			}
+			pw.Gauge("iosched_health_firing_"+v.Detector, "Whether the "+v.Detector+" detector is currently firing.", firing)
+			pw.Counter("iosched_health_firings_total_"+v.Detector, "Lifetime firing transitions of the "+v.Detector+" detector.", float64(v.Firings))
+		}
+	}
 	if s.tel != nil {
 		help := map[string]string{
 			"ioschedd_round_duration_seconds":   "Wall time of one allocation round (decide, re-arm wake, flush).",

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dectrace"
+	"repro/internal/health"
 	"repro/internal/telemetry"
 	"repro/internal/xsort"
 )
@@ -41,6 +42,15 @@ type Config struct {
 	// the enabled steady round is allocation-free too, pinned by
 	// TestSteadyRoundTelemetryAllocationFree.
 	Telemetry *telemetry.Probe
+	// Health, when non-nil, feeds every allocation round's congestion
+	// signals to the anomaly detectors (see docs/observability.md,
+	// layer 5). Unlike Telemetry the monitor is never sampled: it
+	// observes every round, so the firing sequence matches the
+	// simulator's for equivalent histories
+	// (TestDaemonHealthMatchesSimulator). Nil keeps the steady round
+	// allocation-free; so does an enabled monitor in steady state,
+	// pinned by TestSteadyRoundHealthAllocationFree.
+	Health *health.Monitor
 }
 
 // Server is the global I/O scheduler daemon. Create with New, start with
@@ -157,6 +167,7 @@ type Server struct {
 	roundHist *telemetry.Histogram // full round: decide + arm + flush
 	pushHist  *telemetry.Histogram // grant enqueue → socket write completed
 	applyHist *telemetry.Histogram // message arrival → grants flushed
+	health    *health.Monitor      // resolved once in New; nil disables
 }
 
 // session is one connected application.
@@ -263,6 +274,7 @@ func New(cfg Config) (*Server, error) {
 		s.pushHist = s.tel.Histogram("ioschedd_grant_push_delay_seconds")
 		s.applyHist = s.tel.Histogram("ioschedd_decision_apply_seconds")
 	}
+	s.health = cfg.Health
 	return s, nil
 }
 
@@ -410,6 +422,11 @@ type Metrics struct {
 	// LastForecastAgeS is the age of the most recent forecast on the
 	// server's clock, or -1 when none has run yet.
 	LastForecastAgeS float64 `json:"last_forecast_age_s"`
+	// HealthState is the aggregate health verdict ("ok", "degraded",
+	// "critical") and Anomalies the lifetime count of detector firing
+	// transitions; empty/0 when no health monitor is attached.
+	HealthState string `json:"health_state,omitempty"`
+	Anomalies   uint64 `json:"anomalies,omitempty"`
 }
 
 // Metrics returns a consistent snapshot of the operational counters.
@@ -419,6 +436,12 @@ func (s *Server) Metrics() Metrics {
 	age := -1.0
 	if s.hasForecast {
 		age = s.now() - s.lastForecast
+	}
+	healthState := ""
+	var anomalies uint64
+	if s.health != nil {
+		healthState = s.health.State().String()
+		anomalies = s.health.Anomalies()
 	}
 	return Metrics{
 		Policy:                 s.cfg.Policy.Name(),
@@ -435,6 +458,8 @@ func (s *Server) Metrics() Metrics {
 		ForecastsRun:           s.forecasts,
 		PolicySwitches:         s.switches,
 		LastForecastAgeS:       age,
+		HealthState:            healthState,
+		Anomalies:              anomalies,
 	}
 }
 
@@ -781,6 +806,12 @@ func (s *Server) roundLocked(kind string) {
 	if s.tel != nil {
 		s.roundHist.ObserveDuration(time.Since(t0))
 		s.observeLocked(now)
+	}
+	// Health observes every round (never Due-sampled) so the detectors'
+	// firing sequence is a deterministic function of the round history —
+	// the same points the simulator's observeHealth feeds its monitor.
+	if s.health != nil {
+		s.health.Observe(s.livePointLocked(now))
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dectrace"
 	"repro/internal/des"
+	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/telemetry"
@@ -76,6 +77,15 @@ type Config struct {
 	// probe's MinInterval gate; the snapshot lands in Result.Telemetry
 	// (see docs/observability.md). Nil leaves the hot path untouched.
 	Telemetry *telemetry.Probe
+
+	// Health, when non-nil, feeds every decision point's congestion
+	// signals to the anomaly detectors; the verdict snapshot lands in
+	// Result.Health and firing counts in Result.Anomalies (see
+	// docs/observability.md, layer 5). Unlike Telemetry, health observes
+	// every decision point — never sampled — so the firing sequence is a
+	// deterministic function of the workload. Nil leaves the hot path
+	// untouched.
+	Health *health.Monitor
 }
 
 // Result is the outcome of a run.
@@ -107,6 +117,11 @@ type Result struct {
 	// Telemetry is the captured time-series snapshot when Config.Telemetry
 	// was attached, nil otherwise.
 	Telemetry *telemetry.Telemetry
+	// Health is the final verdict snapshot when Config.Health was
+	// attached, nil otherwise; Anomalies is its lifetime count of
+	// detector firing transitions (0 without a monitor).
+	Health    *health.Snapshot
+	Anomalies int
 }
 
 type phase int
@@ -341,6 +356,7 @@ func (s *simulation) run() (*Result, error) {
 	s.fireDue() // releases due at t = 0
 	s.decide()
 	s.observe()
+	s.observeHealth()
 	if _, err := s.loop(math.Inf(1)); err != nil {
 		return nil, err
 	}
@@ -383,6 +399,31 @@ func (s *simulation) observe() {
 	}
 }
 
+// observeHealth feeds the decision point's congestion signals to the
+// attached health monitor. Unlike observe it is never Due-gated: the
+// detectors see every decision point, so the firing sequence depends
+// only on the workload and policy — the same points the daemon's
+// capture site feeds its monitor, which is what makes the two engines'
+// firing sequences bit-identical (TestDaemonHealthMatchesSimulator).
+// Nil-gated so a run without health pays only this comparison.
+func (s *simulation) observeHealth() {
+	h := s.cfg.Health
+	if h == nil {
+		return
+	}
+	cap := s.capacity()
+	var b telemetry.PointBuilder
+	views := s.wantViews()
+	for i, v := range views {
+		b.Add(s.now, v, s.apps[s.candSorted[i]].bw, cap.NodeBW)
+	}
+	lvl := 0.0
+	if s.buffer != nil {
+		lvl = s.buffer.Level()
+	}
+	h.Observe(b.Finish(s.now, cap.TotalBW, lvl))
+}
+
 // loop processes events until the workload finishes or the next event
 // would fire strictly after stopAt; it reports whether the workload
 // finished. Stopping leaves the simulation exactly at the last processed
@@ -412,6 +453,7 @@ func (s *simulation) loop(stopAt float64) (bool, error) {
 		s.fireDue()
 		s.decide()
 		s.observe()
+		s.observeHealth()
 		s.events++
 		if s.events > maxEvents {
 			return false, fmt.Errorf("sim: exceeded event budget %d at t=%g (%d decisions, %d skipped; %s)",
@@ -1053,6 +1095,10 @@ func (s *simulation) collect() *Result {
 	res.Summary = metrics.Summarize(res.Apps, s.p.Nodes)
 	if s.cfg.Telemetry != nil {
 		res.Telemetry = s.cfg.Telemetry.Snapshot()
+	}
+	if s.cfg.Health != nil {
+		res.Health = s.cfg.Health.Snapshot()
+		res.Anomalies = int(res.Health.Anomalies)
 	}
 	return res
 }

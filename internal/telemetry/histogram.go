@@ -82,6 +82,27 @@ func (h *Histogram) Observe(v float64) {
 //iosched:allocfree
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// CountOver returns the total observation count and the count of
+// observations above the given threshold, both read lock-free. "Above"
+// is resolved at bucket granularity — observations sharing the
+// threshold's bucket are counted as within it — so the split inherits
+// the histogram's one-sub-bucket (12.5% relative) resolution. This is
+// the sampling primitive of SLO burn-rate detection: two cumulative
+// counters whose deltas over a window give the windowed error ratio.
+//
+//iosched:allocfree
+func (h *Histogram) CountOver(threshold float64) (total, over uint64) {
+	idx := bucketIndex(threshold)
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		total += c
+		if i > idx {
+			over += c
+		}
+	}
+	return total, over
+}
+
 // HistogramBucket is one non-empty bucket of a snapshot: Count values
 // were observed at or below LE (and above the previous bucket's LE).
 type HistogramBucket struct {

@@ -11,8 +11,10 @@ var sparkLevels = []rune("▁▂▃▄▅▆▇█")
 // Sparkline renders values as a width-character ASCII-art series: the
 // values are bucketed into width equal time slices (averaging within a
 // slice), normalized to the series' min..max range, and mapped onto
-// eighth-block glyphs. A flat series renders at the lowest level; NaN
-// slices (no samples) render as spaces. Empty input returns "".
+// eighth-block glyphs. A constant series has no range to normalize into
+// and renders at the midline — a flatline should read as "steady", not
+// as "pinned at the minimum". NaN slices (no samples) render as spaces.
+// Empty input returns "".
 func Sparkline(values []float64, width int) string {
 	if len(values) == 0 || width <= 0 {
 		return ""
@@ -36,7 +38,7 @@ func Sparkline(values []float64, width int) string {
 		case math.IsNaN(v):
 			b.WriteRune(' ')
 		case hi <= lo:
-			b.WriteRune(sparkLevels[0])
+			b.WriteRune(sparkLevels[len(sparkLevels)/2])
 		default:
 			idx := int((v - lo) / (hi - lo) * float64(len(sparkLevels)))
 			if idx >= len(sparkLevels) {

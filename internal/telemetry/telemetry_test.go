@@ -319,6 +319,87 @@ func TestWindowedSummaryPartial(t *testing.T) {
 	}
 }
 
+// TestWindowedSummaryEdgeCases pins the partial-overlap corners: instant
+// (single-point) windows, zero-length lifetimes, and a window that lies
+// entirely past every finish (the empty tail).
+func TestWindowedSummaryEdgeCases(t *testing.T) {
+	apps := []metrics.AppPerf{
+		{ID: 1, Nodes: 100, Release: 0, Finish: 10, Work: 5, IdealTime: 10},
+		{ID: 2, Nodes: 50, Release: 5, Finish: 5, Work: 0, IdealTime: 1},
+	}
+	// An instant window inside app 1's lifetime: overlap duration 0, so
+	// weight 0 — except the zero-length lifetime sitting exactly on the
+	// instant, which counts fully.
+	got := WindowedSummary(apps, 200, Window{Start: 5, End: 5})
+	only2 := metrics.Summarize(apps[1:], 200)
+	if got.SysEfficiency != only2.SysEfficiency || got.Makespan != 5 {
+		t.Fatalf("instant window: got %+v, want only app 2 (%+v)", got, only2)
+	}
+	// An instant window touching a lifetime edge still yields weight 0
+	// for finite lifetimes: nothing contributes.
+	got = WindowedSummary(apps, 200, Window{Start: 10, End: 10})
+	if got.SysEfficiency != 0 || got.Makespan != 0 {
+		t.Fatalf("edge instant window gave %+v", got)
+	}
+	// Empty tail: a window past every finish sees no application and
+	// returns the neutral summary (Dilation floor 1, everything else 0).
+	got = WindowedSummary(apps, 200, Window{Start: 11, End: math.Inf(1)})
+	if got.SysEfficiency != 0 || got.MeanDilation != 0 || got.Makespan != 0 || got.Dilation != 1 {
+		t.Fatalf("empty tail gave %+v", got)
+	}
+	// A window clipping only the head of a lifetime weights by the
+	// overlapped fraction.
+	got = WindowedSummary(apps[:1], 200, Window{Start: 0, End: 2.5})
+	want := 0.25 * 100 * apps[0].AchievedEff() * 100 / 200
+	if math.Abs(got.SysEfficiency-want) > 1e-12 {
+		t.Fatalf("head clip SysEff %g, want %g", got.SysEfficiency, want)
+	}
+}
+
+// TestWindowedValuesAcrossRingWrap pins windowed reads over a probe
+// whose ring overwrote its oldest points: a window straddling the
+// overwrite boundary must see only the surviving points, in time order.
+func TestWindowedValuesAcrossRingWrap(t *testing.T) {
+	p := &Probe{MaxPoints: 8}
+	for i := 0; i < 12; i++ {
+		p.Record(Point{Time: float64(i), Utilization: float64(i) / 100})
+	}
+	tel := p.Snapshot()
+	if len(tel.Points) != 8 || tel.Points[0].Time != 4 || tel.Points[7].Time != 11 {
+		t.Fatalf("ring snapshot wrong: %+v", tel.Points)
+	}
+	// Window [2,6] straddles the overwrite boundary: times 2 and 3 were
+	// overwritten, so only 4..6 survive.
+	vals := tel.Values("util", Window{Start: 2, End: 6})
+	if want := []float64{0.04, 0.05, 0.06}; !reflect.DeepEqual(vals, want) {
+		t.Fatalf("straddling window values %v, want %v", vals, want)
+	}
+	// Single-point window on a surviving sample.
+	agg, err := tel.Aggregate("util", Window{Start: 7, End: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != 1 || agg.Mean != 0.07 || agg.Min != 0.07 || agg.Max != 0.07 {
+		t.Fatalf("single-point window stats %+v", agg)
+	}
+	// Single-point window on an overwritten sample: empty, NaN stats.
+	agg, err = tel.Aggregate("util", Window{Start: 2, End: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != 0 || !math.IsNaN(agg.Mean) {
+		t.Fatalf("overwritten-sample window stats %+v", agg)
+	}
+	// Empty tail past the newest point.
+	agg, err = tel.Aggregate("util", Window{Start: 12, End: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != 0 || !math.IsNaN(agg.P99) {
+		t.Fatalf("empty tail stats %+v", agg)
+	}
+}
+
 func TestAggregateAndValues(t *testing.T) {
 	tel := &Telemetry{}
 	for i := 0; i < 10; i++ {
@@ -401,8 +482,13 @@ func TestSparkline(t *testing.T) {
 	if want := "▁▂▃▄▅▆▇█"; got != want {
 		t.Fatalf("ramp rendered %q, want %q", got, want)
 	}
-	if got := Sparkline([]float64{5, 5, 5}, 3); got != "▁▁▁" {
-		t.Fatalf("flat series rendered %q", got)
+	// A constant series renders at the midline, not the minimum: a
+	// pinned-at-capacity utilization series must not look idle.
+	if got := Sparkline([]float64{5, 5, 5}, 3); got != "▅▅▅" {
+		t.Fatalf("flat series rendered %q, want midline", got)
+	}
+	if got := Sparkline([]float64{0, 0, 0}, 3); got != "▅▅▅" {
+		t.Fatalf("flat zero series rendered %q, want midline", got)
 	}
 	if n := len([]rune(Sparkline([]float64{1, 2}, 6))); n != 6 {
 		t.Fatalf("upsampled width %d, want 6", n)

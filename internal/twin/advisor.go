@@ -82,6 +82,10 @@ type Advice struct {
 	Improvement float64 `json:"improvement"`
 	// Streak is the challenger's consecutive-win count after this round.
 	Streak int `json:"streak"`
+	// Pressure reports that the assessment ran under detector pressure
+	// (a health monitor seeing a live anomaly), which collapses the
+	// patience guard to one round.
+	Pressure bool `json:"pressure,omitempty"`
 	// Switch reports that the hysteresis guard passed: the caller should
 	// move to Best (the advisor already has).
 	Switch bool `json:"switch"`
@@ -125,6 +129,18 @@ func (a *Advisor) improvement(x, y float64) float64 {
 // advisor's incumbent becomes Best — callers that decline the switch
 // should construct a fresh Advisor instead of feeding this one further.
 func (a *Advisor) Assess(panel []Forecast) (Advice, error) {
+	return a.AssessWith(panel, false)
+}
+
+// AssessWith is Assess with an explicit pressure signal. Pressure means
+// the caller has independent evidence that the live system is unhealthy
+// — in ioschedd, a firing health detector — so waiting out the full
+// patience streak trades real degradation for flap protection the
+// situation no longer merits. Under pressure the patience guard
+// collapses to a single qualifying assessment; the margin guard still
+// applies, so a switch always chases a real forecast improvement, never
+// panic alone.
+func (a *Advisor) AssessWith(panel []Forecast, pressure bool) (Advice, error) {
 	if len(panel) == 0 {
 		return Advice{}, errors.New("twin: empty forecast panel")
 	}
@@ -145,7 +161,7 @@ func (a *Advisor) Assess(panel []Forecast) (Advice, error) {
 	if cur == nil {
 		return Advice{}, fmt.Errorf("twin: panel has no healthy forecast for incumbent %q", a.current)
 	}
-	adv := Advice{Current: a.current, Best: panel[best].Policy, Streak: a.streak}
+	adv := Advice{Current: a.current, Best: panel[best].Policy, Streak: a.streak, Pressure: pressure}
 	adv.Improvement = a.improvement(a.score(&panel[best]), a.score(cur))
 	if adv.Best == a.current || adv.Improvement < a.cfg.margin() {
 		// The incumbent holds; any challenger streak dies.
@@ -164,14 +180,22 @@ func (a *Advisor) Assess(panel []Forecast) (Advice, error) {
 		a.challenger, a.streak = adv.Best, 1
 	}
 	adv.Streak = a.streak
-	if a.streak < a.cfg.patience() {
+	patience := a.cfg.patience()
+	if pressure {
+		patience = 1
+	}
+	if a.streak < patience {
 		adv.Reason = fmt.Sprintf("hold %s: %s ahead by %.1f%% (streak %d of %d)",
-			a.current, adv.Best, 100*adv.Improvement, a.streak, a.cfg.patience())
+			a.current, adv.Best, 100*adv.Improvement, a.streak, patience)
 		return adv, nil
 	}
 	adv.Switch = true
 	adv.Reason = fmt.Sprintf("switch %s -> %s: ahead by %.1f%% for %d consecutive forecasts",
 		a.current, adv.Best, 100*adv.Improvement, a.streak)
+	if pressure {
+		adv.Reason = fmt.Sprintf("switch %s -> %s: ahead by %.1f%% under detector pressure",
+			a.current, adv.Best, 100*adv.Improvement)
+	}
 	a.current = adv.Best
 	a.challenger, a.streak = "", 0
 	return adv, nil

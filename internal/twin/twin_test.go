@@ -247,6 +247,45 @@ func TestAdvisorHysteresis(t *testing.T) {
 	}
 }
 
+// TestAdvisorPressure: a firing health detector collapses the patience
+// guard to one round, but never waives the margin guard.
+func TestAdvisorPressure(t *testing.T) {
+	mk := func(policy string, maxStretch float64) Forecast {
+		return Forecast{Policy: policy, MaxStretch: maxStretch}
+	}
+
+	// Same panel that TestAdvisorHysteresis needs two rounds for
+	// switches in one under pressure.
+	a := NewAdvisor(AdvisorConfig{Margin: 0.05, Patience: 2}, "A")
+	adv, err := a.AssessWith([]Forecast{mk("A", 3), mk("B", 2)}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.Switch || !adv.Pressure || a.Current() != "B" {
+		t.Fatalf("pressure round 1: %+v (current %s)", adv, a.Current())
+	}
+
+	// Pressure does not waive the margin: a sub-margin challenger holds.
+	b := NewAdvisor(AdvisorConfig{Margin: 0.10, Patience: 2}, "A")
+	adv, err = b.AssessWith([]Forecast{mk("A", 2), mk("B", 1.9)}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Switch || adv.Streak != 0 {
+		t.Fatalf("pressure sub-margin: %+v", adv)
+	}
+
+	// A pressure round mid-streak also switches immediately, and the
+	// unpressured path through AssessWith matches Assess exactly.
+	c := NewAdvisor(AdvisorConfig{Margin: 0.05, Patience: 3}, "A")
+	if adv, _ = c.AssessWith([]Forecast{mk("A", 3), mk("B", 2)}, false); adv.Switch || adv.Streak != 1 || adv.Pressure {
+		t.Fatalf("calm round 1: %+v", adv)
+	}
+	if adv, _ = c.AssessWith([]Forecast{mk("A", 3), mk("B", 2)}, true); !adv.Switch || c.Current() != "B" {
+		t.Fatalf("pressure mid-streak: %+v (current %s)", adv, c.Current())
+	}
+}
+
 // TestAdvisedRun closes the loop on the simulator: starting from the
 // deliberately poor exclusive-fcfs policy, the advisor must switch away
 // and end no worse than the static exclusive run; the whole trajectory

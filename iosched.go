@@ -35,10 +35,12 @@
 package iosched
 
 import (
+	"repro/internal/buildinfo"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dectrace"
 	"repro/internal/experiments"
+	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/periodic"
 	"repro/internal/platform"
@@ -233,6 +235,60 @@ var (
 	TelemetryWindowedSummary = telemetry.WindowedSummary
 	// TelemetrySparkline renders a series as a UTF-8 sparkline.
 	TelemetrySparkline = telemetry.Sparkline
+)
+
+// Health (internal/health): streaming anomaly detectors over the
+// telemetry signal, an aggregate verdict with hysteresis, and the
+// flight recorder producing deterministic incident bundles. Attach a
+// monitor via SimConfig.Health (or server.Config.Health) and read the
+// final verdict from SimResult.Health; a nil monitor costs nothing
+// (see docs/observability.md).
+type (
+	// HealthMonitor evaluates the anomaly detectors incrementally from
+	// telemetry points.
+	HealthMonitor = health.Monitor
+	// HealthConfig tunes detector thresholds and hysteresis.
+	HealthConfig = health.Config
+	// HealthState is the aggregate verdict (ok/degraded/critical).
+	HealthState = health.State
+	// HealthAlert is one detector firing/resolved transition.
+	HealthAlert = health.Alert
+	// HealthVerdict is one detector's current standing.
+	HealthVerdict = health.Verdict
+	// HealthSnapshot is a monitor's point-in-time verdict state (the
+	// type of SimResult.Health).
+	HealthSnapshot = health.Snapshot
+	// IncidentBundle is a flight-recorder dump: detector state, alerts,
+	// telemetry, decisions and live snapshot, deterministically encoded.
+	IncidentBundle = health.Bundle
+	// FlightRecorder assembles incident bundles from pluggable sources.
+	FlightRecorder = health.Recorder
+	// IncidentReplayReport is the outcome of re-evaluating a bundle.
+	IncidentReplayReport = health.ReplayReport
+)
+
+// Health state verdicts.
+const (
+	// HealthOK means no detector is firing.
+	HealthOK = health.OK
+	// HealthDegraded means a degraded-severity detector is firing.
+	HealthDegraded = health.Degraded
+	// HealthCritical means a critical-severity detector is firing.
+	HealthCritical = health.Critical
+)
+
+var (
+	// NewHealthMonitor builds a monitor (zero HealthConfig = defaults).
+	NewHealthMonitor = health.New
+	// HealthDetectorNames lists the detectors in evaluation order.
+	HealthDetectorNames = health.DetectorNames
+	// DecodeIncidentBundle parses an encoded incident bundle.
+	DecodeIncidentBundle = health.DecodeBundle
+	// ReplayIncident re-runs the detectors over a bundle's telemetry.
+	ReplayIncident = health.Replay
+	// BuildInfo reports the binary's build identity (version, VCS
+	// revision, toolchain).
+	BuildInfo = buildinfo.Get
 )
 
 // Cluster emulation (Section 5).
